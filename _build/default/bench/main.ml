@@ -1,0 +1,118 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Figures 1-8) on the simulated-multicore backend, then runs Bechamel
+   microbenchmarks of the per-scheme barrier costs on the real backend.
+
+   Environment knobs:
+     OA_BENCH_FIGURES  comma list from {1..8,micro} (default: all)
+     OA_BENCH_SCALE    multiplier on operation counts (default 1.0)
+     OA_BENCH_REPEATS  repetitions per point (default 1; the paper used 20)
+     OA_BENCH_THREADS  comma list of thread counts (default 1,2,4,8,16,32,64)
+     OA_BENCH_CSV      directory to also dump CSV files into *)
+
+module F = Oa_harness.Figures
+module E = Oa_harness.Experiment
+module CM = Oa_simrt.Cost_model
+module I = Oa_core.Smr_intf
+
+let wanted =
+  let spec =
+    match Sys.getenv_opt "OA_BENCH_FIGURES" with
+    | Some s -> String.split_on_char ',' s
+    | None -> [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8"; "ablations"; "micro" ]
+  in
+  fun f -> List.mem f spec
+
+(* --- Bechamel microbenchmarks: real backend, single thread --- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.printf
+    "@.=== Microbenchmarks: real backend (OCaml domains), single thread ===@.";
+  Format.printf "(per-operation latency including each scheme's barriers)@.";
+  let r = Oa_runtime.Real_backend.make () in
+  let module R = (val r) in
+  let module Schemes = Oa_smr.Schemes.Make (R) in
+  let cfg_small = { I.default_config with I.chunk_size = 16 } in
+  let make_list_test (id, (module S : Schemes.S_with_r)) =
+    let module L = Oa_structures.Linked_list.Make (S) in
+    let t = L.create ~capacity:4096 cfg_small in
+    let ctx = L.register t in
+    for k = 1 to 100 do
+      ignore (L.insert ctx (2 * k))
+    done;
+    let i = ref 0 in
+    Test.make
+      ~name:(Printf.sprintf "list100.contains (%s)" (Oa_smr.Schemes.id_name id))
+      (Staged.stage (fun () ->
+           i := (!i + 37) mod 200;
+           ignore (L.contains ctx !i)))
+  in
+  let make_update_test (id, (module S : Schemes.S_with_r)) =
+    let module H = Oa_structures.Hash_table.Make (S) in
+    let t = H.create ~capacity:8192 ~expected_size:512 cfg_small in
+    let ctx = H.register t in
+    for k = 1 to 512 do
+      ignore (H.insert t ctx k)
+    done;
+    let i = ref 0 in
+    Test.make
+      ~name:
+        (Printf.sprintf "hash.insert+delete (%s)" (Oa_smr.Schemes.id_name id))
+      (Staged.stage (fun () ->
+           i := (!i + 613) mod 4096;
+           let k = 1000 + !i in
+           ignore (H.insert t ctx k);
+           ignore (H.delete t ctx k)))
+  in
+  let tests =
+    List.map make_list_test Schemes.all @ List.map make_update_test Schemes.all
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.printf "%-36s %10.1f ns/run@." name est
+          | _ -> Format.printf "%-36s (no estimate)@." name)
+        analyzed)
+    tests
+
+let () =
+  Format.printf "Optimistic Access reproduction benchmarks@.";
+  Format.printf "AMD model:  %a@." CM.pp CM.amd_opteron;
+  Format.printf "Xeon model: %a@." CM.pp CM.intel_xeon;
+  Format.printf "scale=%.2g repeats=%d threads=%s@."
+    (match Sys.getenv_opt "OA_BENCH_SCALE" with
+    | Some s -> float_of_string s
+    | None -> 1.0)
+    (match Sys.getenv_opt "OA_BENCH_REPEATS" with
+    | Some s -> int_of_string s
+    | None -> 1)
+    (match Sys.getenv_opt "OA_BENCH_THREADS" with
+    | Some s -> s
+    | None -> "1,2,4,8,16,32,64");
+  let fig1_data = if wanted "1" || wanted "4" then Some (F.fig1 ()) else None in
+  (match (wanted "4", fig1_data) with
+  | true, Some data -> F.fig4 ~data ()
+  | _ -> ());
+  if wanted "2" then F.fig2 ();
+  if wanted "3" then F.fig3 ();
+  let fig5_data = if wanted "5" || wanted "6" then Some (F.fig5 ()) else None in
+  (match (wanted "6", fig5_data) with
+  | true, Some data -> F.fig6 ~data ()
+  | _ -> ());
+  if wanted "7" then F.fig7 ();
+  if wanted "8" then F.fig8 ();
+  if wanted "ablations" then F.ablations ();
+  if wanted "micro" then micro ();
+  Format.printf "@.done.@."

@@ -1,0 +1,198 @@
+(* Command-line interface to the reproduction harness.
+
+   oa_cli figure <1..8>          regenerate one figure of the paper
+   oa_cli run [options]          run a single custom experiment
+   oa_cli schemes                list the available SMR schemes *)
+
+module E = Oa_harness.Experiment
+module F = Oa_harness.Figures
+module CM = Oa_simrt.Cost_model
+module Schemes = Oa_smr.Schemes
+open Cmdliner
+
+let scheme_conv =
+  let parse s =
+    match Schemes.id_of_name s with
+    | Some id -> Ok id
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print ppf id = Format.pp_print_string ppf (Schemes.id_name id) in
+  Arg.conv (parse, print)
+
+let structure_conv =
+  let parse = function
+    | "list" -> Ok E.Linked_list
+    | "hash" -> Ok E.Hash_table
+    | "skiplist" | "skip" -> Ok E.Skip_list
+    | s -> Error (`Msg (Printf.sprintf "unknown structure %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (E.structure_name s) in
+  Arg.conv (parse, print)
+
+let mix_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ r; i; d ] -> (
+        try
+          Ok
+            (Oa_workload.Op_mix.v ~read_pct:(int_of_string r)
+               ~insert_pct:(int_of_string i) ~delete_pct:(int_of_string d))
+        with _ -> Error (`Msg "mix must be like 80/10/10"))
+    | _ -> Error (`Msg "mix must be like 80/10/10")
+  in
+  Arg.conv (parse, (fun ppf m -> Oa_workload.Op_mix.pp ppf m))
+
+(* --- run --- *)
+
+let run_cmd =
+  let structure =
+    Arg.(
+      value
+      & opt structure_conv E.Hash_table
+      & info [ "structure"; "s" ] ~docv:"STRUCT"
+          ~doc:"Data structure: list, hash or skiplist.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv Schemes.Optimistic_access
+      & info [ "scheme"; "m" ] ~docv:"SCHEME"
+          ~doc:"Memory reclamation scheme: norecl, oa, hp, ebr or anchors.")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Thread count.")
+  in
+  let prefill =
+    Arg.(value & opt int 1000 & info [ "prefill"; "p" ] ~doc:"Initial size.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 100_000
+      & info [ "ops"; "n" ] ~doc:"Total operations across all threads.")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt mix_conv Oa_workload.Op_mix.read_mostly
+      & info [ "mix" ] ~docv:"R/I/D" ~doc:"Operation mix, e.g. 80/10/10.")
+  in
+  let delta =
+    Arg.(
+      value & opt int 16_000
+      & info [ "delta" ] ~doc:"Arena slack beyond prefill (Figure 3's knob).")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 126 & info [ "chunk" ] ~doc:"Local pool chunk size.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let zipf =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:
+            "Draw keys from a Zipfian distribution with the given skew in \
+             (0,1) instead of uniformly (extension beyond the paper).")
+  in
+  let repeats =
+    Arg.(value & opt int 1 & info [ "repeats" ] ~doc:"Repetitions.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "sim"
+      & info [ "backend" ] ~doc:"Backend: sim (default), sim-xeon, or real.")
+  in
+  let run structure scheme threads prefill ops mix delta chunk seed zipf
+      repeats backend =
+    let backend =
+      match backend with
+      | "real" -> E.Real
+      | "sim-xeon" -> E.Sim { cost_model = CM.intel_xeon; quantum = 128 }
+      | _ -> E.Sim { cost_model = CM.amd_opteron; quantum = 128 }
+    in
+    let spec =
+      {
+        E.structure;
+        prefill;
+        scheme;
+        threads;
+        mix;
+        key_theta = zipf;
+        total_ops = ops;
+        delta;
+        chunk_size = chunk;
+        seed;
+        backend;
+      }
+    in
+    let results = E.run_repeated ~repeats spec in
+    let throughputs = List.map (fun r -> r.E.throughput) results in
+    let s = Oa_harness.Stats.summary throughputs in
+    Format.printf
+      "%s/%s threads=%d ops=%d mix=%a: %.3f Mops/s (±%.3f, n=%d)@."
+      (E.structure_name structure) (Schemes.id_name scheme) threads ops
+      Oa_workload.Op_mix.pp mix
+      (s.Oa_harness.Stats.mean /. 1e6)
+      (s.Oa_harness.Stats.ci95 /. 1e6)
+      s.Oa_harness.Stats.n;
+    List.iter
+      (fun r ->
+        Format.printf "  run: %.3f Mops/s, elapsed %.4fs, final size %d, %a@."
+          (r.E.throughput /. 1e6) r.E.elapsed r.E.final_size
+          Oa_core.Smr_intf.pp_stats r.E.smr_stats)
+      results
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a single custom experiment.")
+    Term.(
+      const run $ structure $ scheme $ threads $ prefill $ ops $ mix $ delta
+      $ chunk $ seed $ zipf $ repeats $ backend)
+
+(* --- figure --- *)
+
+let figure_cmd =
+  let n =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Figure number, 1-8.")
+  in
+  let run n =
+    match n with
+    | 1 -> ignore (F.fig1 ())
+    | 2 -> F.fig2 ()
+    | 3 -> F.fig3 ()
+    | 4 -> F.fig4 ~data:(F.run_fig1_data ()) ()
+    | 5 -> ignore (F.fig5 ())
+    | 6 -> F.fig6 ~data:(F.run_fig5_data ()) ()
+    | 7 -> F.fig7 ()
+    | 8 -> F.fig8 ()
+    | _ -> prerr_endline "figure must be 1-8"; exit 1
+  in
+  Cmd.v
+    (Cmd.info "figure"
+       ~doc:
+         "Regenerate one figure of the paper (env: OA_BENCH_SCALE, \
+          OA_BENCH_REPEATS, OA_BENCH_THREADS, OA_BENCH_CSV).")
+    Term.(const run $ n)
+
+(* --- schemes --- *)
+
+let schemes_cmd =
+  let run () =
+    List.iter
+      (fun id -> print_endline (Schemes.id_name id))
+      Schemes.all_ids
+  in
+  Cmd.v (Cmd.info "schemes" ~doc:"List available SMR schemes.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "oa_cli" ~version:"1.0"
+      ~doc:
+        "Reproduction harness for 'Efficient Memory Management for \
+         Lock-Free Data Structures with Optimistic Access' (SPAA 2015)."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; schemes_cmd ]))

@@ -1,0 +1,1 @@
+examples/leaderboard.ml: Array Format List Oa_core Oa_runtime Oa_structures Oa_util Printf

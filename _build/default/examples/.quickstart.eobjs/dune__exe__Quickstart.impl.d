@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Oa_core Oa_runtime Oa_structures Oa_util Printf

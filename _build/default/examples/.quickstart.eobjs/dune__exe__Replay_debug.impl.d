@@ -1,0 +1,1 @@
+examples/replay_debug.ml: Buffer Format List Oa_core Oa_runtime Oa_simrt Oa_structures Printf

@@ -1,0 +1,1 @@
+examples/session_store.ml: Array List Oa_core Oa_runtime Oa_structures Oa_util Printf

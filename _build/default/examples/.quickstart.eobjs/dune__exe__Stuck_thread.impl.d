@@ -1,0 +1,1 @@
+examples/stuck_thread.ml: Oa_core Oa_runtime Oa_simrt Oa_smr Oa_structures Printf

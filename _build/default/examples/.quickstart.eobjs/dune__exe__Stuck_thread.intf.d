@@ -1,0 +1,1 @@
+examples/stuck_thread.mli:

@@ -1,0 +1,64 @@
+(* Leaderboard: a lock-free skip list as a concurrent ordered index.
+
+   Game servers update player scores concurrently while queries scan the
+   ordered structure.  The skip list gives O(log n) ordered insertion and
+   deletion without locks; optimistic access reclaims the nodes of departed
+   players without fences on the read path.
+
+   A score update is delete(old) + insert(new) keyed by score (packed with
+   a player id in the low bits to keep keys unique).
+
+   Run with:  dune exec examples/leaderboard.exe *)
+
+module I = Oa_core.Smr_intf
+
+let players = 1_024
+let key ~score ~player = (score lsl 10) lor player
+
+let () =
+  let backend = Oa_runtime.Real_backend.make () in
+  let module R = (val backend) in
+  let module S = Oa_core.Oa.Make (R) in
+  let module Sl = Oa_structures.Skip_list.Make (S) in
+  let config =
+    {
+      I.default_config with
+      I.chunk_size = 16;
+      hp_slots = Sl.hp_slots_needed;
+      max_cas = Sl.max_cas_needed;
+    }
+  in
+  let board = Sl.create ~capacity:20_000 config in
+  let scores = Array.make players 100 in
+  (* seed the board *)
+  let seed_ctx = Sl.register ~seed:99 board in
+  Array.iteri
+    (fun p s -> ignore (Sl.insert seed_ctx (key ~score:s ~player:p)))
+    scores;
+  (* four updater domains, each owning a quarter of the players *)
+  let updates_per_domain = 20_000 in
+  R.par_run ~n:4 (fun tid ->
+      let ctx = Sl.register ~seed:(1 + tid) board in
+      let rng = Oa_util.Splitmix.create (1000 + tid) in
+      for _ = 1 to updates_per_domain do
+        let p = (tid * (players / 4)) + Oa_util.Splitmix.below rng (players / 4) in
+        let old_score = scores.(p) in
+        let new_score = max 1 (old_score + Oa_util.Splitmix.below rng 21 - 10) in
+        if new_score <> old_score then begin
+          ignore (Sl.delete ctx (key ~score:old_score ~player:p));
+          ignore (Sl.insert ctx (key ~score:new_score ~player:p));
+          scores.(p) <- new_score
+        end
+      done);
+  (* top-10 scan, from the quiescent snapshot *)
+  let all = Sl.to_list board in
+  let top = List.filteri (fun i _ -> i >= List.length all - 10) all in
+  Printf.printf "leaderboard has %d entries after %d updates (%.3fs)\n"
+    (List.length all) (4 * updates_per_domain) (R.elapsed_seconds ());
+  print_string "top 10 (score, player): ";
+  List.iter (fun k -> Printf.printf "(%d,%d) " (k lsr 10) (k land 1023)) top;
+  print_newline ();
+  Format.printf "reclamation: %a@." I.pp_stats (S.stats (Sl.smr board));
+  match Sl.validate board ~limit:200_000 with
+  | Ok () -> print_endline "skip list invariants: OK"
+  | Error e -> failwith e

@@ -1,0 +1,42 @@
+(* Quickstart: a lock-free hash table with optimistic-access reclamation.
+
+   Builds the OA scheme over the real (OCaml domains) backend, runs a few
+   threads of mixed operations against a shared hash table, and prints the
+   reclamation statistics.  Run with:  dune exec examples/quickstart.exe *)
+
+module I = Oa_core.Smr_intf
+
+let () =
+  (* 1. Pick a backend: the real one runs threads as OCaml domains. *)
+  let backend = Oa_runtime.Real_backend.make () in
+  let module R = (val backend) in
+  (* 2. Instantiate the optimistic-access scheme and a hash table over it.
+        The arena must hold the table plus reclamation slack. *)
+  let module S = Oa_core.Oa.Make (R) in
+  let module H = Oa_structures.Hash_table.Make (S) in
+  let config = { I.default_config with I.chunk_size = 32 } in
+  let table = H.create ~capacity:50_000 ~expected_size:4_096 config in
+  (* 3. Run threads.  Each registers a per-thread context once and then
+        issues ordinary set operations. *)
+  let threads = 4 and ops_per_thread = 50_000 in
+  let hits = Array.make threads 0 in
+  R.par_run ~n:threads (fun tid ->
+      let ctx = H.register table in
+      let rng = Oa_util.Splitmix.create (42 + tid) in
+      for _ = 1 to ops_per_thread do
+        let k = 1 + Oa_util.Splitmix.below rng 8_192 in
+        match Oa_util.Splitmix.below rng 10 with
+        | 0 -> ignore (H.insert table ctx k)
+        | 1 -> ignore (H.delete table ctx k)
+        | _ -> if H.contains table ctx k then hits.(tid) <- hits.(tid) + 1
+      done);
+  (* 4. Inspect the results. *)
+  let total_hits = Array.fold_left ( + ) 0 hits in
+  let final = List.length (H.to_list table) in
+  Printf.printf "ran %d ops on %d domains in %.3fs: %d lookup hits, final size %d\n"
+    (threads * ops_per_thread) threads
+    (R.elapsed_seconds ()) total_hits final;
+  Format.printf "reclamation: %a@." I.pp_stats (S.stats (H.smr table));
+  match H.validate table ~limit:100_000 with
+  | Ok () -> print_endline "invariants: OK"
+  | Error e -> failwith e

@@ -1,0 +1,76 @@
+(* Deterministic replay debugging with the simulator.
+
+   Concurrency bugs are miserable to debug because runs are not
+   reproducible.  The simulated backend fixes that: given a seed, the
+   interleaving is exact, and a Trace attached to the scheduler shows who
+   ran when.  This example hunts for the seed that maximises optimistic
+   rollbacks in a small OA workload, then replays that exact execution
+   twice and shows the traces are identical, byte for byte.
+
+   Run with:  dune exec examples/replay_debug.exe *)
+
+module I = Oa_core.Smr_intf
+module CM = Oa_simrt.Cost_model
+module Trace = Oa_simrt.Trace
+
+let cfg = { I.default_config with I.chunk_size = 4 }
+
+(* A raw simrt run with a switch trace attached, to show who ran when
+   around the interesting moment. *)
+let traced_switches seed =
+  let sched = Oa_simrt.Sched.create ~seed ~quantum:0 CM.amd_opteron in
+  let trace = Trace.create ~capacity:16 () in
+  Oa_simrt.Sched.set_switch_hook sched (fun ~tid ~clock ->
+      Trace.record trace ~time:clock ~tid "resumed");
+  Oa_simrt.Sched.run sched ~n:3 (fun tid ->
+      for _ = 1 to 3 do
+        Oa_simrt.Sched.charge sched (10 + tid);
+        Oa_simrt.Sched.force_yield sched
+      done);
+  trace
+
+(* One deterministic workload run, returning OA's rollback statistics and
+   a per-thread result log for comparing replays. *)
+let restarts_for seed =
+  let r = Oa_runtime.Sim_backend.make ~seed ~quantum:0 ~max_threads:4 CM.amd_opteron in
+  let module R = (val r) in
+  let module S = Oa_core.Oa.Make (R) in
+  let module L = Oa_structures.Linked_list.Make (S) in
+  let t = L.create ~capacity:96 cfg in
+  let ops_log = Buffer.create 256 in
+  R.par_run ~n:4 (fun tid ->
+      let ctx = L.register t in
+      for i = 1 to 60 do
+        let k = (i * 7 mod 16) + 1 in
+        let r1 = L.insert ctx k in
+        let r2 = L.delete ctx k in
+        if tid = 0 then Buffer.add_string ops_log (Printf.sprintf "%b%b" r1 r2)
+      done);
+  let st = S.stats (L.smr t) in
+  (st.I.restarts, st.I.phases, Buffer.contents ops_log)
+
+let () =
+  (* 1. sweep seeds; different seeds explore different interleavings *)
+  let results = List.init 10 (fun s -> (s, restarts_for s)) in
+  List.iter
+    (fun (s, (restarts, phases, _)) ->
+      Printf.printf "seed %d: %2d rollbacks across %2d reclamation phases\n" s
+        restarts phases)
+    results;
+  let worst, _ =
+    List.fold_left
+      (fun (bs, br) (s, (r, _, _)) -> if r > br then (s, r) else (bs, br))
+      (0, -1) results
+  in
+  Printf.printf "\nmost contended interleaving: seed %d\n" worst;
+  (* 2. replay it: the execution is bit-for-bit identical *)
+  let r1, p1, log1 = restarts_for worst in
+  let r2, p2, log2 = restarts_for worst in
+  assert (r1 = r2 && p1 = p2 && log1 = log2);
+  Printf.printf
+    "replayed seed %d twice: identical rollbacks (%d), phases (%d) and \
+     per-thread results — a reproducible concurrency bug report.\n"
+    worst r1 p1;
+  (* 3. at the simrt layer, a switch trace shows the exact interleaving *)
+  print_endline "\nscheduler trace of a tiny traced run (seed 1):";
+  Format.printf "%a@." Trace.pp (traced_switches 1)

@@ -1,0 +1,61 @@
+(* Session store: bounded-memory churn under optimistic access.
+
+   The scenario the paper's introduction motivates: a long-running service
+   keeps short-lived records (sessions) in a lock-free table.  Without
+   reclamation, memory grows with every login; with optimistic access, the
+   arena stays bounded regardless of how many sessions come and go.
+
+   Producer domains log sessions in; expirer domains log them out; readers
+   authenticate.  At the end we show that the allocations far exceeded the
+   arena capacity — impossible without the reclamation scheme recycling
+   nodes — while the structure stayed consistent.
+
+   Run with:  dune exec examples/session_store.exe *)
+
+module I = Oa_core.Smr_intf
+
+let capacity = 9_000
+let live_target = 2_000
+let session_space = 4_000
+
+let () =
+  let backend = Oa_runtime.Real_backend.make () in
+  let module R = (val backend) in
+  let module S = Oa_core.Oa.Make (R) in
+  let module H = Oa_structures.Hash_table.Make (S) in
+  let config = { I.default_config with I.chunk_size = 16 } in
+  let store = H.create ~capacity ~expected_size:live_target config in
+  let rounds = 40_000 in
+  let logins = Array.make 4 0 and logouts = Array.make 4 0 in
+  R.par_run ~n:4 (fun tid ->
+      let ctx = H.register store in
+      let rng = Oa_util.Splitmix.create (7 + tid) in
+      for _ = 1 to rounds do
+        let sid = 1 + Oa_util.Splitmix.below rng session_space in
+        match tid with
+        | 0 | 1 ->
+            (* producers: session login *)
+            if H.insert store ctx sid then logins.(tid) <- logins.(tid) + 1
+        | 2 ->
+            (* expirer: session logout *)
+            if H.delete store ctx sid then logouts.(tid) <- logouts.(tid) + 1
+        | _ ->
+            (* authenticator *)
+            ignore (H.contains store ctx sid)
+      done);
+  let st = S.stats (H.smr store) in
+  let live = List.length (H.to_list store) in
+  Printf.printf "sessions: %d logins, %d logouts, %d live at shutdown\n"
+    (logins.(0) + logins.(1))
+    logouts.(2) live;
+  Printf.printf
+    "arena capacity %d nodes; total allocations %d (%.1fx capacity), %d \
+     nodes recycled\n"
+    capacity st.I.allocs
+    (float_of_int st.I.allocs /. float_of_int capacity)
+    st.I.recycled;
+  Printf.printf "reclamation phases: %d, rollbacks absorbed: %d\n" st.I.phases
+    st.I.restarts;
+  match H.validate store ~limit:100_000 with
+  | Ok () -> print_endline "store invariants: OK"
+  | Error e -> failwith e

@@ -1,0 +1,1 @@
+lib/core/normalized.ml: Array Smr_intf

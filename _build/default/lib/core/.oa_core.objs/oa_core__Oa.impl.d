@@ -1,0 +1,1 @@
+lib/core/oa.ml: Array Hashtbl List Oa_mem Oa_runtime Smr_intf Versioned_pool

@@ -1,0 +1,1 @@
+lib/core/smr_intf.ml: Format Oa_mem Oa_runtime

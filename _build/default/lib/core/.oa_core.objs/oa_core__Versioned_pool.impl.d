@@ -1,0 +1,1 @@
+lib/core/versioned_pool.ml: Array Oa_mem Oa_runtime Smr_intf

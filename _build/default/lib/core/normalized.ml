@@ -1,0 +1,83 @@
+(** Driver for data structures in normalized form (Timnat & Petrank,
+    PPoPP 2014; the paper's Section 3.2 and Appendix A).
+
+    A normalized operation is three methods run in sequence:
+
+    + the {e CAS generator} searches the structure and produces a list of
+      CAS descriptors (it may also perform restartable auxiliary CASes,
+      e.g. physical deletes, through {!Smr_intf.S.cas});
+    + the {e CAS executor} — a fixed method, {!Make.execute} — attempts
+      the descriptors one by one until the first failure;
+    + the {e wrap-up} inspects how many CASes succeeded and either returns
+      the operation's result or asks to start over from the generator.
+
+    The generator and wrap-up are {e parallelizable} methods: restarting
+    them from scratch at any point is harmless.  This is the roll-back
+    mechanism optimistic access relies on: any barrier may raise
+    {!Smr_intf.Restart} and the driver re-runs the current method.
+
+    Relaxation, documented in DESIGN.md: generators return an auxiliary
+    value alongside the CAS list (e.g. the result of a read-only search)
+    which is passed to the wrap-up.  The paper's Listing 1 threads such
+    data through the descriptor list itself; allowing a typed side channel
+    changes nothing about restartability because the auxiliary value is
+    recomputed whenever the generator re-runs. *)
+
+module Make (S : Smr_intf.S) = struct
+  (** Outcome of a wrap-up method. *)
+  type 'r wrap_outcome = Finish of 'r | Restart_generator
+
+  (** Index value meaning "no CAS failed" in the executor's output. *)
+  let none_failed = -1
+
+  (** The fixed CAS-executor method: attempts each descriptor in order,
+      stopping at the first failure.  Returns the index of the failed CAS,
+      or {!none_failed}.  Performs no barriers: every object it touches was
+      protected by [protect_descs] at the end of the generator. *)
+  let execute (descs : S.desc array) =
+    let n = Array.length descs in
+    let rec go i =
+      if i >= n then none_failed
+      else
+        let d = descs.(i) in
+        if S.R.cas d.S.target d.S.expected d.S.new_value then go (i + 1)
+        else i
+    in
+    go 0
+
+  (** [run_op ctx ~generator ~wrap_up] executes one normalized operation.
+
+      [generator ()] returns [(descs, aux)].  [wrap_up ~descs ~failed aux]
+      receives the executor's output ([failed = ] {!none_failed} when all
+      CASes succeeded) and the auxiliary value.  Either method may raise
+      {!Smr_intf.Restart}; the driver then re-runs that method from
+      scratch, after clearing protection state as the scheme requires. *)
+  let run_op ctx ~generator ~wrap_up =
+    S.op_begin ctx;
+    let rec from_generator () =
+      match
+        try
+          let descs, aux = generator () in
+          S.protect_descs ctx descs;
+          Some (descs, aux)
+        with Smr_intf.Restart ->
+          S.on_restart ctx;
+          None
+      with
+      | None -> from_generator ()
+      | Some (descs, aux) -> (
+          let failed = execute descs in
+          let rec from_wrap_up () =
+            try wrap_up ~descs ~failed aux
+            with Smr_intf.Restart -> from_wrap_up ()
+          in
+          let outcome = from_wrap_up () in
+          S.clear_descs ctx;
+          match outcome with
+          | Finish r -> r
+          | Restart_generator -> from_generator ())
+    in
+    let r = from_generator () in
+    S.op_end ctx;
+    r
+end

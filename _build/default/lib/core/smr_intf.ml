@@ -1,0 +1,200 @@
+(** Common interface of all safe-memory-reclamation (SMR) schemes.
+
+    Every scheme — the paper's {!Oa} as well as the baselines in [Oa_smr]
+    ([No_recl], [Hazard_pointers], [Ebr], [Anchors]) — implements
+    {!module-type-S} over a {!Oa_runtime.Runtime_intf.S} backend and a node
+    {!Oa_mem.Arena}.  Data structures are written once against this
+    interface and instantiated per scheme.
+
+    The protection discipline follows the normalized-form contract of the
+    paper:
+    - every read of a shared pointer field goes through {!S.read_ptr};
+    - reads of data fields of a node whose protection is already
+      established use {!S.read_data}, followed by {!S.check} before the
+      values are relied upon (OA's batched-reads optimization, Appendix E);
+    - every observable CAS outside the CAS-executor goes through {!S.cas}
+      (the paper's Algorithm 2);
+    - the CAS list produced by a generator is protected with
+      {!S.protect_descs} (Algorithm 3) and released with {!S.clear_descs}
+      at the end of the wrap-up.
+
+    Any of the barrier operations may raise {!Restart}, which the
+    {!Normalized} driver catches to re-run the current generator or
+    wrap-up method from scratch. *)
+
+module Ptr = Oa_mem.Ptr
+module Arena = Oa_mem.Arena
+
+exception Restart
+(** Raised by a barrier when the running method may have observed stale
+    values and must roll back to the start of the current generator or
+    wrap-up method. *)
+
+exception Arena_exhausted
+(** Raised by [alloc] when no node can be produced even after repeated
+    reclamation attempts: the arena was sized too small for the workload
+    (see the paper's discussion of the [delta] slack in Figure 3). *)
+
+type config = {
+  chunk_size : int;
+      (** local-pool chunk size; the paper uses 126 and studies the knob in
+          Figure 2 *)
+  hp_slots : int;
+      (** hazard-pointer slots for in-generator CASes; 3 suffices for the
+          list and hash table (Algorithm 2) *)
+  max_cas : int;
+      (** maximum length of a CAS list (the paper's [C]); bounds the
+          owner hazard pointers of Algorithm 3 *)
+  retire_threshold : int;
+      (** HP and Anchors: scan after this many local retires (the paper's
+          [k = delta/threads] in Figure 3) *)
+  epoch_threshold : int;
+      (** EBR: attempt an epoch advance every this many operations (the
+          paper's [q]) *)
+  anchor_interval : int;
+      (** Anchors: post an anchor once per this many reads (the paper's
+          [K = 1000]) *)
+  ebr_op_work : int;
+      (** EBR only: extra per-operation cycles charged on the simulated
+          backend, modelling the heavyweight per-operation path (integrated
+          allocator, epoch machinery) of Fraser's implementation, which is
+          the comparator the paper measured; calibrated in EXPERIMENTS.md
+          against the paper's hash-table panel.  Ignored on the real
+          backend. *)
+}
+
+let default_config =
+  {
+    chunk_size = 126;
+    hp_slots = 3;
+    max_cas = 1;
+    retire_threshold = 512;
+    epoch_threshold = 640;
+    anchor_interval = 1000;
+    ebr_op_work = 45;
+  }
+
+(** Counters exposed by schemes for tests and reports; all zero when a
+    scheme does not track a given statistic. *)
+type stats = {
+  allocs : int;
+  retires : int;
+  recycled : int;  (** objects made available for re-allocation *)
+  restarts : int;  (** rollbacks triggered by barriers *)
+  phases : int;  (** reclamation phases / scans / epoch advances *)
+  fences : int;  (** full fences issued by barriers *)
+}
+
+let empty_stats =
+  { allocs = 0; retires = 0; recycled = 0; restarts = 0; phases = 0; fences = 0 }
+
+let add_stats a b =
+  {
+    allocs = a.allocs + b.allocs;
+    retires = a.retires + b.retires;
+    recycled = a.recycled + b.recycled;
+    restarts = a.restarts + b.restarts;
+    phases = a.phases + b.phases;
+    fences = a.fences + b.fences;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "allocs=%d retires=%d recycled=%d restarts=%d phases=%d fences=%d"
+    s.allocs s.retires s.recycled s.restarts s.phases s.fences
+
+module type S = sig
+  module R : Oa_runtime.Runtime_intf.S
+
+  type t
+  (** Shared scheme state (pools, registries). *)
+
+  type ctx
+  (** Per-thread context; must only be used by its owning thread. *)
+
+  (** A CAS descriptor as produced by a CAS-generator method: the target
+      [cell] of node [obj], expected and new values, and whether each value
+      operand is a (possibly marked) pointer that needs protection. *)
+  type desc = {
+    obj : Ptr.t;  (** unmarked owner of the target field *)
+    target : R.cell;
+    expected : int;
+    new_value : int;
+    expected_is_ptr : bool;
+    new_is_ptr : bool;
+  }
+
+  val name : string
+
+  val create : Arena.Make(R).t -> config -> t
+
+  val set_successor : t -> (Ptr.t -> Ptr.t) -> unit
+  (** Give the scheme a way to walk from a node to its successor in the
+      structure (a raw arena read).  Only the Anchors scheme uses it, for
+      its protection walk; a no-op everywhere else.  Structures install it
+      at creation time. *)
+
+  val register : t -> ctx
+  (** Register the calling thread; call once per thread, reuse across
+      operations. *)
+
+  val op_begin : ctx -> unit
+  val op_end : ctx -> unit
+
+  val alloc : ctx -> Ptr.t
+  (** Allocate a zeroed node.  May internally run reclamation; never raises
+      {!Restart} itself (a subsequent barrier will, if a phase started).
+      @raise Arena_exhausted when the arena is undersized. *)
+
+  val dealloc : ctx -> Ptr.t -> unit
+  (** Return a node that was never published to shared memory. *)
+
+  val retire : ctx -> Ptr.t -> unit
+  (** Hand an unlinked node to the reclamation scheme ({e proper} retire:
+      the node is no longer reachable from the structure, and only one
+      thread retires it).  Never raises {!Restart}. *)
+
+  val read_ptr : ctx -> hp:int -> R.cell -> int
+  (** Protected read of a pointer-valued shared field.  [hp] names the
+      hazard slot used by HP-style schemes; OA and EBR ignore it.
+      @raise Restart when a rollback is required. *)
+
+  val protect_move : ctx -> hp:int -> Ptr.t -> unit
+  (** [protect_move ctx ~hp p] additionally publishes [p] in hazard slot
+      [hp].  [p] must currently be protected by another slot (or be a node
+      that is never reclaimed, like a sentinel): because the old slot is
+      still visible when the new one is written, no fence is needed.  Used
+      by multi-level traversals to park pointers in stable slots while the
+      rotating slots move on.  No-op for schemes without per-read hazard
+      slots. *)
+
+  val read_data : ctx -> R.cell -> int
+  (** Unchecked read of a data field.  The caller must either already hold
+      protection for the node (HP discipline) or call {!check} before using
+      the value (OA discipline). *)
+
+  val check : ctx -> unit
+  (** OA: warning-bit check (Algorithm 1); no-op for other schemes.
+      @raise Restart when a rollback is required. *)
+
+  val cas : ctx -> desc -> bool
+  (** Observable CAS with operand protection (Algorithm 2).
+      @raise Restart when a rollback is required {e before} the CAS is
+      attempted; once attempted, the result is returned. *)
+
+  val protect_descs : ctx -> desc array -> unit
+  (** Protect all objects of a CAS list until {!clear_descs} (Algorithm 3);
+      called at the end of a generator method.
+      @raise Restart when a rollback is required. *)
+
+  val clear_descs : ctx -> unit
+  (** Drop the protections of {!protect_descs}; called at the end of the
+      wrap-up method. *)
+
+  val on_restart : ctx -> unit
+  (** Reset per-operation protection state; called by the driver after
+      catching {!Restart} from a generator. *)
+
+  val stats : t -> stats
+  (** Aggregate statistics over all registered threads. *)
+end

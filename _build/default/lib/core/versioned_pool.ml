@@ -1,0 +1,115 @@
+(** Version-checked lock-free pools of node chunks.
+
+    The optimistic access scheme keeps retired and ready-to-allocate nodes
+    in shared pools of fixed-size {e chunks}.  The [retirePool] and
+    [processingPool] carry a {e version} (twice the phase number, odd while
+    a phase swap is in progress); a push or pop only succeeds when the
+    caller's version matches, otherwise [`Mismatch] tells the caller to
+    catch up with the current phase (Algorithms 4-6 of the paper).
+
+    The paper implements the pools as lock-free stacks whose head pointer
+    and version are modified together by a wide CAS.  We represent the whole
+    pool state as one immutable pair [(chunks, version)] in a boxed cell and
+    swap it with a physical-equality CAS, which is the same linearizable
+    behaviour. *)
+
+module Make (R : Oa_runtime.Runtime_intf.S) = struct
+  (** A chunk is owned by exactly one thread while mutable; once pushed to
+      a shared pool it is immutable until popped again. *)
+  type chunk = { slots : int array; mutable len : int }
+
+  let make_chunk size = { slots = Array.make size (-1); len = 0 }
+  let chunk_full c = c.len = Array.length c.slots
+  let chunk_empty c = c.len = 0
+
+  let chunk_push c v =
+    c.slots.(c.len) <- v;
+    c.len <- c.len + 1
+
+  let chunk_pop c =
+    c.len <- c.len - 1;
+    c.slots.(c.len)
+
+  type state = { chunks : chunk list; ver : int }
+  type t = state R.rcell
+
+  let create ?(ver = 0) () = R.rcell { chunks = []; ver }
+  let snapshot t = R.rread t
+  let version t = (R.rread t).ver
+
+  (* Retry only when the failure is contention at the same version; a
+     version change surfaces as [`Mismatch]. *)
+  let rec push t ~ver c =
+    let s = R.rread t in
+    if s.ver <> ver then `Mismatch
+    else if R.rcas t s { chunks = c :: s.chunks; ver } then `Ok
+    else push t ~ver c
+
+  let rec pop t ~ver =
+    let s = R.rread t in
+    if s.ver <> ver then `Mismatch
+    else
+      match s.chunks with
+      | [] -> `Empty
+      | c :: rest -> if R.rcas t s { chunks = rest; ver } then `Ok c else pop t ~ver
+
+  let cas_state t ~expected s = R.rcas t expected s
+
+  module A = Oa_mem.Arena.Make (R)
+
+  (** Build a chunk of [k] fresh node indices from the arena's bump
+      region, or [None] when the region is exhausted. *)
+  let chunk_from_bump arena k =
+    match A.bump_range arena k with
+    | None -> None
+    | Some first ->
+        let c = make_chunk k in
+        for i = 0 to k - 1 do
+          chunk_push c (first + i)
+        done;
+        Some c
+
+  (** Unversioned variant used for the [readyPool]: allocation does not
+      depend on the phase (Section 4). *)
+  module Plain = struct
+    type nonrec t = t
+
+    let create () = create ()
+
+    let rec push t c =
+      let s = R.rread t in
+      if R.rcas t s { s with chunks = c :: s.chunks } then () else push t c
+
+    let rec pop t =
+      let s = R.rread t in
+      match s.chunks with
+      | [] -> None
+      | c :: rest -> if R.rcas t s { s with chunks = rest } then Some c else pop t
+  end
+
+  (** The allocation slow path shared by every reclaiming scheme: take a
+      chunk from the shared ready pool, else from the arena's bump region,
+      else run the scheme's [reclaim] and retry.  [reclaim ~attempt]
+      returns whether reclamation progressed anywhere in the system (not
+      necessarily for this thread); progress resets the retry budget, so a
+      thread only gives up — raising {!Smr_intf.Arena_exhausted} — when
+      reclamation as a whole is stuck, i.e. the arena is undersized for
+      the workload. *)
+  let refill ~arena ~ready ~chunk_size ~reclaim =
+    let rec attempt n =
+      if n > 1000 then raise Smr_intf.Arena_exhausted;
+      match Plain.pop ready with
+      | Some c when not (chunk_empty c) -> c
+      | Some _ -> attempt n
+      | None -> (
+          match chunk_from_bump arena chunk_size with
+          | Some c -> c
+          | None -> (
+              match chunk_from_bump arena 1 with
+              | Some c -> c
+              | None ->
+                  let progressed = reclaim ~attempt:n in
+                  attempt (if progressed then 1 else n + 1)))
+    in
+    attempt 0
+end

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: List Oa_core Oa_runtime Oa_simrt Oa_smr Oa_structures Oa_util Oa_workload Printf Stdlib

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Experiment Format List Oa_core Oa_runtime Oa_simrt Oa_smr Oa_structures Oa_workload Printf Report Stats String Sys

@@ -1,0 +1,1 @@
+lib/harness/lincheck.ml: Array Format Hashtbl List

@@ -1,0 +1,98 @@
+(** Linearizability checking for integer-set histories.
+
+    A {e history} is a list of completed operations with real-time
+    intervals ([start_ts], [end_ts]) taken from one common timeline — the
+    simulated clock of the sim backend, or a machine clock.  The history is
+    linearizable iff the operations can be totally ordered such that (a)
+    the order respects real time (an operation that finished before another
+    started comes first) and (b) replaying them sequentially against the
+    set semantics reproduces every recorded result.
+
+    The checker is a Wing-&-Gong style exhaustive search with memoization
+    on (set of linearized operations, abstract state).  Histories are
+    limited to 62 operations so the linearized-set fits a bitmask; that is
+    ample for the short targeted histories the test suite generates, where
+    the deterministic simulator makes each history exactly reproducible. *)
+
+type kind = Contains | Insert | Delete
+
+type event = {
+  tid : int;
+  kind : kind;
+  key : int;
+  result : bool;
+  start_ts : int;
+  end_ts : int;
+}
+
+let pp_event ppf e =
+  let k =
+    match e.kind with Contains -> "contains" | Insert -> "insert" | Delete -> "delete"
+  in
+  Format.fprintf ppf "t%d [%d,%d] %s(%d) = %b" e.tid e.start_ts e.end_ts k
+    e.key e.result
+
+(* Sequential set semantics: [apply state op] is the state after [op] if
+   the recorded result is consistent, or None. *)
+let apply state op =
+  let mem = List.mem op.key state in
+  match op.kind with
+  | Contains -> if mem = op.result then Some state else None
+  | Insert ->
+      if op.result then
+        if mem then None else Some (List.sort compare (op.key :: state))
+      else if mem then Some state
+      else None
+  | Delete ->
+      if op.result then
+        if mem then Some (List.filter (fun k -> k <> op.key) state) else None
+      else if mem then None
+      else Some state
+
+(** [check ?initial history] decides linearizability with respect to an
+    integer set starting as [initial] (default empty).
+    @raise Invalid_argument on histories longer than 62 operations. *)
+let check ?(initial = []) history =
+  let ops = Array.of_list history in
+  let n = Array.length ops in
+  if n > 62 then invalid_arg "Lincheck.check: history too large";
+  if n = 0 then true
+  else begin
+    let full = (1 lsl n) - 1 in
+    let memo = Hashtbl.create 4096 in
+    let initial = List.sort compare initial in
+    let rec go linearized state =
+      linearized = full
+      ||
+      let key = (linearized, state) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let r = ref false in
+          let i = ref 0 in
+          while (not !r) && !i < n do
+            let idx = !i in
+            incr i;
+            if linearized land (1 lsl idx) = 0 then begin
+              (* minimal: every unlinearized op that really finished before
+                 this one started must not exist *)
+              let minimal = ref true in
+              for j = 0 to n - 1 do
+                if
+                  j <> idx
+                  && linearized land (1 lsl j) = 0
+                  && ops.(j).end_ts < ops.(idx).start_ts
+                then minimal := false
+              done;
+              if !minimal then
+                match apply state ops.(idx) with
+                | Some state' ->
+                    if go (linearized lor (1 lsl idx)) state' then r := true
+                | None -> ()
+            end
+          done;
+          Hashtbl.add memo key !r;
+          !r
+    in
+    go 0 initial
+  end

@@ -1,0 +1,51 @@
+(** ASCII tables and CSV output for benchmark results. *)
+
+(** Print an aligned table: [rows] labels down the side, [cols] labels
+    across, [cell row col] the text of each cell. *)
+let table ~ppf ~row_header ~rows ~cols ~cell =
+  let width =
+    List.fold_left
+      (fun acc c -> max acc (String.length c))
+      (String.length row_header) cols
+    + 2
+  in
+  let row_w =
+    List.fold_left
+      (fun acc r -> max acc (String.length r))
+      (String.length row_header) rows
+    + 2
+  in
+  let pad w s = Printf.sprintf "%*s" w s in
+  Format.fprintf ppf "%s" (pad row_w row_header);
+  List.iter (fun c -> Format.fprintf ppf "%s" (pad width c)) cols;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s" (pad row_w r);
+      List.iter (fun c -> Format.fprintf ppf "%s" (pad width (cell r c))) cols;
+      Format.fprintf ppf "@.")
+    rows
+
+let section ppf title =
+  Format.fprintf ppf "@.=== %s ===@." title
+
+let subsection ppf title = Format.fprintf ppf "@.--- %s ---@."  title
+
+(** Append rows to a CSV file when [OA_BENCH_CSV] names a directory; an
+    unset or empty variable disables CSV output. *)
+let csv_dir () =
+  match Sys.getenv_opt "OA_BENCH_CSV" with
+  | Some "" | None -> None
+  | Some dir -> Some dir
+
+let csv_append ~file ~header rows =
+  match csv_dir () with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir file in
+      let fresh = not (Sys.file_exists path) in
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      if fresh then output_string oc (header ^ "\n");
+      List.iter (fun r -> output_string oc (r ^ "\n")) rows;
+      close_out oc

@@ -1,0 +1,66 @@
+(** Sample statistics for benchmark reporting.
+
+    The paper reports, per configuration, the mean over 20 repetitions with
+    95% confidence error bars; {!summary} provides the same quantities. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  ci95 : float;  (** half-width of the 95% confidence interval *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
+
+(* Two-sided 97.5% Student-t quantiles for small samples; 1.96 beyond. *)
+let t_quantile n =
+  let table =
+    [| 12.71; 4.30; 3.18; 2.78; 2.57; 2.45; 2.36; 2.31; 2.26; 2.23;
+       2.20; 2.18; 2.16; 2.14; 2.13; 2.12; 2.11; 2.10; 2.09; 2.09 |]
+  in
+  let df = n - 1 in
+  if df <= 0 then 0.0
+  else if df <= Array.length table then table.(df - 1)
+  else 1.96
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.median: empty"
+  | sorted ->
+      let n = List.length sorted in
+      let nth i = List.nth sorted i in
+      if n mod 2 = 1 then nth (n / 2)
+      else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+
+let summary xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summary: empty"
+  | _ ->
+      let n = List.length xs in
+      let sd = stddev xs in
+      {
+        n;
+        mean = mean xs;
+        stddev = sd;
+        ci95 = t_quantile n *. sd /. sqrt (float_of_int n);
+        min = List.fold_left min infinity xs;
+        max = List.fold_left max neg_infinity xs;
+        median = median xs;
+      }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%.3g ± %.2g (n=%d)" s.mean s.ci95 s.n

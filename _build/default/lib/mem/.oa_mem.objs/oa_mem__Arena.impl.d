@@ -1,0 +1,1 @@
+lib/mem/arena.ml: Array Oa_runtime Ptr

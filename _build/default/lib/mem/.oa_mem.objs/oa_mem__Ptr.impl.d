@@ -1,0 +1,1 @@
+lib/mem/ptr.ml: Format Int

@@ -1,0 +1,1 @@
+lib/mem/ptr.mli: Format

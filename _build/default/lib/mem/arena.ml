@@ -1,0 +1,56 @@
+(** Pre-allocated node arena.
+
+    All nodes of a data structure live in a fixed-capacity arena of
+    [n_fields]-word nodes; {!Ptr.t} values index into it.  The arena is
+    never unmapped, so reading a field of a node that has been retired and
+    recycled never faults — it returns whatever the new owner wrote, i.e. a
+    stale value.  This is exactly the environment the optimistic access
+    scheme is designed for (the paper's Assumption 3.1).
+
+    Allocation policy is owned by the SMR schemes; the arena only provides
+    storage plus a bump region for never-yet-allocated nodes. *)
+
+module Make (R : Oa_runtime.Runtime_intf.S) = struct
+  type t = {
+    n_fields : int;
+    capacity : int;
+    cells : R.cell array array;  (* indexed [field].(node) *)
+    bump : R.cell;
+  }
+
+  let create ~capacity ~n_fields =
+    if capacity <= 0 || n_fields <= 0 then invalid_arg "Arena.create";
+    {
+      n_fields;
+      capacity;
+      cells = R.node_cells ~nodes:capacity ~fields:n_fields;
+      bump = R.cell 0;
+    }
+
+  let capacity t = t.capacity
+  let n_fields t = t.n_fields
+
+  (** [field t p f] is the cell of field [f] of the node [p] points to.
+      [p] must be unmarked and non-null. *)
+  let field t p f = t.cells.(f).(Ptr.index p)
+
+  let read t p f = R.read (field t p f)
+  let write t p f v = R.write (field t p f) v
+  let cas t p f ~expected v = R.cas (field t p f) expected v
+
+  (** [bump_range t n] grabs [n] fresh node indices from the bump region,
+      returning the first, or [None] when fewer than [n] remain. *)
+  let bump_range t n =
+    let first = R.faa t.bump n in
+    if first + n <= t.capacity then Some first else None
+
+  let bump_used t = min (R.read t.bump) t.capacity
+
+  (** Zero all fields of a node, as the paper's allocator does
+      ([memset(obj, 0)] in Algorithm 5). *)
+  let zero_node t p =
+    let i = Ptr.index p in
+    for f = 0 to t.n_fields - 1 do
+      R.write t.cells.(f).(i) 0
+    done
+end

@@ -1,0 +1,43 @@
+(** Pre-allocated node arena.
+
+    All nodes of a data structure live in a fixed-capacity arena of
+    [n_fields]-word nodes; {!Ptr.t} values index into it.  The arena is
+    never unmapped, so reading a field of a node that has been retired and
+    recycled never faults — it returns whatever the new owner wrote, i.e.
+    a stale value.  This is exactly the environment the optimistic access
+    scheme is designed for (the paper's Assumption 3.1).
+
+    Allocation policy is owned by the SMR schemes; the arena only provides
+    storage plus a bump region for never-yet-allocated nodes. *)
+
+module Make (R : Oa_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : capacity:int -> n_fields:int -> t
+  (** [create ~capacity ~n_fields] allocates storage for [capacity] nodes
+      of [n_fields] words; all fields of a node share a cache line.
+      @raise Invalid_argument when either argument is non-positive. *)
+
+  val capacity : t -> int
+  val n_fields : t -> int
+
+  val field : t -> Ptr.t -> int -> R.cell
+  (** [field t p f] is the cell of field [f] of the node [p] points to.
+      [p] must be unmarked and non-null. *)
+
+  val read : t -> Ptr.t -> int -> int
+  val write : t -> Ptr.t -> int -> int -> unit
+  val cas : t -> Ptr.t -> int -> expected:int -> int -> bool
+
+  val bump_range : t -> int -> int option
+  (** [bump_range t n] grabs [n] fresh node indices from the bump region,
+      returning the first, or [None] when fewer than [n] remain.  Distinct
+      callers always receive disjoint ranges. *)
+
+  val bump_used : t -> int
+  (** Number of nodes handed out by the bump region so far. *)
+
+  val zero_node : t -> Ptr.t -> unit
+  (** Zero all fields of a node, as the paper's allocator does
+      ([memset(obj, 0)] in Algorithm 5). *)
+end

@@ -1,0 +1,18 @@
+type t = int
+
+let null = -2
+let is_null p = p < 0
+
+let of_index i =
+  assert (i >= 0);
+  i lsl 1
+
+let index p = p asr 1
+let mark p = p lor 1
+let unmark p = p land lnot 1
+let is_marked p = p land 1 = 1
+let equal = Int.equal
+
+let pp ppf p =
+  if is_null p then Format.fprintf ppf "null%s" (if is_marked p then "!" else "")
+  else Format.fprintf ppf "#%d%s" (index p) (if is_marked p then "!" else "")

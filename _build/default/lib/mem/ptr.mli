@@ -1,0 +1,32 @@
+(** Tagged pointers into a node {!Arena}.
+
+    A pointer is an immediate integer: the node index shifted left by one,
+    with bit 0 available as the {e mark} bit that lock-free algorithms use
+    to logically delete nodes (Harris).  [null] is negative, so validity
+    checks are a single comparison.  Because pointers are plain integers,
+    reading a pointer field of a recycled node is always well defined — the
+    arena satisfies the paper's Assumption 3.1 by construction. *)
+
+type t = int
+
+val null : t
+(** The unmarked null pointer. *)
+
+val is_null : t -> bool
+(** True for both the marked and unmarked null. *)
+
+val of_index : int -> t
+(** [of_index i] is the unmarked pointer to node [i]; [i >= 0]. *)
+
+val index : t -> int
+(** Node index of a pointer, ignoring the mark bit.  [index null = -1]. *)
+
+val mark : t -> t
+(** Set the mark bit. *)
+
+val unmark : t -> t
+(** Clear the mark bit. *)
+
+val is_marked : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/real_backend.ml: Array Atomic Domain Runtime_intf Unix

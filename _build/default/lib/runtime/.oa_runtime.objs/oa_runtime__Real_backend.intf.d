@@ -1,0 +1,1 @@
+lib/runtime/real_backend.mli: Runtime_intf

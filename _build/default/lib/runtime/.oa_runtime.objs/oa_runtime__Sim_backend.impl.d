@@ -1,0 +1,1 @@
+lib/runtime/sim_backend.ml: Oa_simrt Runtime_intf Sched Smem

@@ -1,0 +1,1 @@
+lib/runtime/sim_backend.mli: Oa_simrt Runtime_intf

@@ -1,0 +1,67 @@
+(** Real backend over OCaml 5 [Domain]s and [Atomic]s.
+
+    Gives the library a genuinely concurrent implementation: logical
+    threads are domains, cells are [Atomic.t] values.  Wall-clock timings
+    from this backend are only meaningful on a machine with enough cores;
+    correctness under true preemption holds on any machine. *)
+
+let tid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let make ?(max_threads = 128) () : (module Runtime_intf.S) =
+  (module struct
+    let name = "real"
+
+    type cell = int Atomic.t
+    type 'a rcell = 'a Atomic.t
+
+    let cell v = Atomic.make v
+
+    let node_cells ~nodes ~fields =
+      Array.init fields (fun _ -> Array.init nodes (fun _ -> Atomic.make 0))
+
+    let read = Atomic.get
+    let read_own = Atomic.get
+    let write c v = Atomic.set c v
+    let cas c e v = Atomic.compare_and_set c e v
+    let faa c d = Atomic.fetch_and_add c d
+    let fence_cell = Atomic.make 0
+    let fence () = ignore (Atomic.fetch_and_add fence_cell 0)
+    let rcell v = Atomic.make v
+    let rread r = Atomic.get r
+    let rwrite r v = Atomic.set r v
+    let rcas r e v = Atomic.compare_and_set r e v
+    let work _ = ()
+    let op_work () = ()
+    let last_elapsed = ref 0.0
+    let last_n = ref 0
+
+    let par_run ~n f =
+      if n > max_threads then
+        invalid_arg "Real_backend.par_run: too many threads";
+      last_n := n;
+      let t0 = Unix.gettimeofday () in
+      let body i () =
+        Domain.DLS.set tid_key i;
+        f i
+      in
+      let domains = Array.init n (fun i -> Domain.spawn (body i)) in
+      Array.iter Domain.join domains;
+      last_elapsed := Unix.gettimeofday () -. t0
+
+    let elapsed_seconds () = !last_elapsed
+    let now_cycles () = int_of_float (Unix.gettimeofday () *. 1e9)
+    let tid () = Domain.DLS.get tid_key
+    let n_threads () = !last_n
+    let max_threads = max_threads
+
+    let stall c =
+      (* Approximate [c] nanoseconds; granularity of sleep is coarse, which
+         is fine for failure injection. *)
+      if c > 100_000 then Unix.sleepf (float_of_int c *. 1e-9)
+      else
+        let t0 = Unix.gettimeofday () in
+        let dt = float_of_int c *. 1e-9 in
+        while Unix.gettimeofday () -. t0 < dt do
+          Domain.cpu_relax ()
+        done
+  end)

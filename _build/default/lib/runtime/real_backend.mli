@@ -1,0 +1,8 @@
+(** Real backend: logical threads are OCaml 5 domains, cells are
+    [Atomic.t] values.  This is the backend applications use; wall-clock
+    measurements from it are only meaningful with enough hardware cores. *)
+
+val make : ?max_threads:int -> unit -> (module Runtime_intf.S)
+(** [make ()] builds a runtime over domains.  [max_threads] (default
+    [128]) bounds [par_run]'s thread count; note OCaml limits the number
+    of simultaneously live domains. *)

@@ -1,0 +1,90 @@
+(** The runtime abstraction all higher layers are written against.
+
+    A [RUNTIME] bundles shared-memory primitives with thread management.
+    Two backends implement it: {!Sim_backend} (discrete-event simulated
+    multicore with a cycle-cost model — see DESIGN.md for why a simulator
+    substitutes for the paper's 64-core testbeds) and {!Real_backend}
+    (OCaml 5 [Domain]s and [Atomic]s).  Backends are instantiated per
+    experiment as first-class modules and carry their own state. *)
+
+module type S = sig
+  val name : string
+  (** Backend identifier, ["sim"] or ["real"]. *)
+
+  type cell
+  (** An int-valued shared memory location supporting atomic operations. *)
+
+  type 'a rcell
+  (** A shared location holding a boxed OCaml value; [rcas] compares with
+      physical equality, like [Atomic.t] on heap values. *)
+
+  val cell : int -> cell
+  (** Allocate a cell on its own cache line. *)
+
+  val node_cells : nodes:int -> fields:int -> cell array array
+  (** [node_cells ~nodes ~fields] allocates storage for [nodes] simulated
+      heap nodes of [fields] words each; all fields of a node share a cache
+      line.  Indexed [field].(node). *)
+
+  val read : cell -> int
+
+  val read_own : cell -> int
+  (** Read of a cell that stays resident in the reader's cache because it is
+      almost always written by the reading thread itself (warning words,
+      own hazard slots): costs a single cycle when cached, a normal miss
+      when another thread has written it since.  Equivalent to {!read} on
+      the real backend. *)
+
+  val write : cell -> int -> unit
+
+  val cas : cell -> int -> int -> bool
+  (** [cas c expected v] — atomic compare-and-swap. *)
+
+  val faa : cell -> int -> int
+  (** [faa c d] — atomic fetch-and-add, returns the previous value. *)
+
+  val fence : unit -> unit
+  (** Full memory fence. *)
+
+  val rcell : 'a -> 'a rcell
+  val rread : 'a rcell -> 'a
+  val rwrite : 'a rcell -> 'a -> unit
+  val rcas : 'a rcell -> 'a -> 'a -> bool
+
+  val work : int -> unit
+  (** [work c] accounts for [c] cycles of thread-local computation.  A
+      no-op on the real backend. *)
+
+  val op_work : unit -> unit
+  (** Account the cost model's fixed per-operation overhead
+      ({!Oa_simrt.Cost_model.t.op_overhead}); used by benchmark drivers.
+      A no-op on the real backend. *)
+
+  val par_run : n:int -> (int -> unit) -> unit
+  (** [par_run ~n f] runs [f 0 .. f (n-1)] as [n] concurrent threads and
+      waits for all of them. *)
+
+  val elapsed_seconds : unit -> float
+  (** Duration of the last completed {!par_run}: simulated makespan on the
+      sim backend, wall-clock time on the real backend. *)
+
+  val now_cycles : unit -> int
+  (** The calling thread's clock: its cycle count on the sim backend,
+      monotonic nanoseconds on the real backend.  Timestamps from
+      different threads are comparable (one simulated timeline; one
+      machine clock), which linearizability checking relies on. *)
+
+  val tid : unit -> int
+  (** Index of the calling thread within the current {!par_run}, or [-1]
+      outside of one. *)
+
+  val n_threads : unit -> int
+  (** Thread count of the current (or last) {!par_run}. *)
+
+  val max_threads : int
+  (** Upper bound on [n] accepted by {!par_run}. *)
+
+  val stall : int -> unit
+  (** [stall c] deschedules the calling thread for [c] cycles (sim) or
+      approximately [c] nanoseconds (real).  Used for failure injection. *)
+end

@@ -1,0 +1,49 @@
+(** Simulated-multicore backend: binds {!Oa_simrt.Sched} and
+    {!Oa_simrt.Smem} behind the {!Runtime_intf.S} interface. *)
+
+open Oa_simrt
+
+let make ?(seed = 0) ?(quantum = 0) ?(max_threads = 128) cost_model :
+    (module Runtime_intf.S) =
+  (module struct
+    let name = "sim"
+    let sched = Sched.create ~seed ~quantum cost_model
+    let mem = Smem.create sched ~threads:max_threads
+
+    type cell = Smem.cell
+    type 'a rcell = 'a Smem.rcell
+
+    let cell v = Smem.cell mem v
+    let node_cells ~nodes ~fields = Smem.node_cells mem ~nodes ~fields
+    let read c = Smem.read mem c
+    let read_own c = Smem.read_own mem c
+    let write c v = Smem.write mem c v
+    let cas c e v = Smem.cas mem c e v
+    let faa c d = Smem.faa mem c d
+    let fence () = Smem.fence mem
+    let rcell v = Smem.rcell mem v
+    let rread r = Smem.rread mem r
+    let rwrite r v = Smem.rwrite mem r v
+    let rcas r e v = Smem.rcas mem r e v
+
+    let work c =
+      if Sched.tid sched >= 0 then begin
+        Sched.charge sched c;
+        Sched.maybe_yield sched
+      end
+
+    let op_work () = work cost_model.Oa_simrt.Cost_model.op_overhead
+    let last_elapsed = ref 0.0
+
+    let par_run ~n f =
+      if n > max_threads then invalid_arg "Sim_backend.par_run: too many threads";
+      Sched.run sched ~n f;
+      last_elapsed := Sched.elapsed_seconds sched
+
+    let elapsed_seconds () = !last_elapsed
+    let now_cycles () = if Sched.tid sched >= 0 then Sched.clock sched else 0
+    let tid () = Sched.tid sched
+    let n_threads () = Sched.n_threads sched
+    let max_threads = max_threads
+    let stall c = if Sched.tid sched >= 0 then Sched.stall sched c
+  end)

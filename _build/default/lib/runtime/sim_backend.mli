@@ -1,0 +1,21 @@
+(** Simulated-multicore backend (see DESIGN.md for the substitution
+    rationale): logical threads are discrete-event coroutines with
+    per-thread cycle clocks; shared accesses are charged by the cost
+    model's cache-coherence prices; executions are deterministic given the
+    seed. *)
+
+val make :
+  ?seed:int ->
+  ?quantum:int ->
+  ?max_threads:int ->
+  Oa_simrt.Cost_model.t ->
+  (module Runtime_intf.S)
+(** [make cost_model] builds a fresh simulated runtime.
+
+    [seed] (default [0]) fixes the interleaving; [quantum] (default [0])
+    is the cycle batch between scheduling points — [0] makes every shared
+    access a scheduling point (exact interleavings, used by tests), larger
+    values trade interleaving resolution for simulation speed (benchmarks
+    use 128; Ablation B shows measured throughput is insensitive to it);
+    [max_threads] (default [128]) bounds [par_run]'s thread count and
+    sizes the per-thread caches. *)

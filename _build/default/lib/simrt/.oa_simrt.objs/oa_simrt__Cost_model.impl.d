@@ -1,0 +1,1 @@
+lib/simrt/cost_model.ml: Format

@@ -1,0 +1,1 @@
+lib/simrt/sched.ml: Array Cost_model Effect Oa_util

@@ -1,0 +1,1 @@
+lib/simrt/sched.mli: Cost_model

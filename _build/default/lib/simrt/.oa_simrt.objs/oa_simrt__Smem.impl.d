@@ -1,0 +1,1 @@
+lib/simrt/smem.ml: Array Cost_model Sched

@@ -1,0 +1,1 @@
+lib/simrt/trace.ml: Array Format List

@@ -1,0 +1,66 @@
+type t = {
+  name : string;
+  ghz : float;
+  cores : int;
+  read_hit : int;
+  read_miss : int;
+  write_hit : int;
+  write_miss : int;
+  cas_extra : int;
+  fence : int;
+  access_overhead : int;
+  op_overhead : int;
+  alloc_cost : int;
+  cache_slots : int;
+}
+
+(* Calibration notes.  The ratios below are what matter for reproducing the
+   paper's figures:
+   - a fence costs an order of magnitude more than a cached read, so a
+     hazard-pointer read barrier (write + fence + validating re-read)
+     dominates pointer-chasing workloads;
+   - a coherence miss costs several times a hit, so traversals of structures
+     larger than [cache_slots] pay misses (LinkedList5K) while small hot
+     structures (LinkedList128) stay cached until writers invalidate lines;
+   - CAS costs a bit more than a write even when uncontended. *)
+let amd_opteron =
+  {
+    name = "amd-opteron-6272";
+    ghz = 2.1;
+    cores = 64;
+    read_hit = 2;
+    read_miss = 19;
+    write_hit = 2;
+    write_miss = 22;
+    cas_extra = 10;
+    fence = 40;
+    access_overhead = 1;
+    op_overhead = 40;
+    alloc_cost = 12;
+    cache_slots = 4096;
+  }
+
+let intel_xeon =
+  {
+    name = "intel-xeon-e5-2690";
+    ghz = 2.9;
+    cores = 16;
+    read_hit = 2;
+    read_miss = 15;
+    write_hit = 2;
+    write_miss = 18;
+    cas_extra = 8;
+    fence = 32;
+    access_overhead = 1;
+    op_overhead = 35;
+    alloc_cost = 10;
+    cache_slots = 8192;
+  }
+
+let cycles_to_seconds cm c = float_of_int c /. (cm.ghz *. 1e9)
+
+let pp ppf cm =
+  Format.fprintf ppf
+    "%s (%.1f GHz, %d cores; hit=%d miss=%d fence=%d cas=+%d cache=%d)"
+    cm.name cm.ghz cm.cores cm.read_hit cm.read_miss cm.fence cm.cas_extra
+    cm.cache_slots

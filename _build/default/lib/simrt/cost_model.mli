@@ -1,0 +1,45 @@
+(** Cycle-cost model for the simulated multicore machine.
+
+    The discrete-event scheduler ({!Sched}) charges every shared-memory
+    access with a cost drawn from this model.  Costs are in CPU cycles of a
+    nominal [ghz]-gigahertz core.  Two presets approximate the paper's two
+    testbeds (4x AMD Opteron 6272 and 2x Intel Xeon E5-2690); the absolute
+    values are calibrated so that the relative costs of a cached read, a
+    coherence miss, a CAS and a full memory fence match published
+    micro-architectural measurements, which is what drives the shape of the
+    paper's figures. *)
+
+type t = {
+  name : string;  (** preset name, e.g. ["amd-opteron-6272"] *)
+  ghz : float;  (** nominal clock, used to convert cycles to seconds *)
+  cores : int;
+      (** hardware parallelism cap; with more software threads than cores the
+          makespan is corrected for timesharing *)
+  read_hit : int;  (** read of a line present in the local cache *)
+  read_miss : int;  (** read that misses (coherence or capacity) *)
+  write_hit : int;  (** write to a line in exclusive/modified state *)
+  write_miss : int;  (** write needing ownership (RFO) *)
+  cas_extra : int;  (** added on top of the write cost for a CAS *)
+  fence : int;  (** full memory fence (mfence / locked no-op) *)
+  access_overhead : int;
+      (** surrounding non-memory instructions charged per shared access *)
+  op_overhead : int;  (** fixed per-data-structure-operation work *)
+  alloc_cost : int;  (** local-pool allocation fast path *)
+  cache_slots : int;
+      (** per-thread direct-mapped cache size, in lines; must be a power of
+          two.  Determines capacity misses, e.g. a 5000-node list does not
+          fit in a 4096-line cache while a 128-node list does. *)
+}
+
+val amd_opteron : t
+(** 64 cores at 2.1 GHz; the platform of the paper's Figures 1-4. *)
+
+val intel_xeon : t
+(** 16 cores / 32 hardware threads at 2.9 GHz with a larger relative fence
+    cost; the platform of the paper's Figures 5-6. *)
+
+val cycles_to_seconds : t -> int -> float
+(** [cycles_to_seconds cm c] converts a cycle count to seconds at
+    [cm.ghz]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+type thread_state =
+  | Not_started
+  | Running
+  | Suspended of (unit, unit) continuation
+  | Finished
+
+type t = {
+  cm : Cost_model.t;
+  quantum : int;
+  max_cycles : int;
+  rng : Oa_util.Splitmix.t;
+  mutable n : int;
+  mutable clocks : int array;
+  mutable last_yield : int array;
+  mutable states : thread_state array;
+  mutable current : int;
+  mutable live : int;
+  mutable total : int;
+  mutable span : int;
+  mutable running : bool;
+  mutable switch_hook : (tid:int -> clock:int -> unit) option;
+}
+
+exception Thread_failure of int * exn
+exception Cycle_limit_exceeded
+
+(* Used only for start jitter and tie-breaking. *)
+let next_rng t = Oa_util.Splitmix.next t.rng
+
+let create ?(seed = 0) ?(quantum = 0) ?(max_cycles = 2_000_000_000_000) cm =
+  {
+    cm;
+    quantum;
+    max_cycles;
+    rng = Oa_util.Splitmix.create (seed + 1);
+    n = 0;
+    clocks = [||];
+    last_yield = [||];
+    states = [||];
+    current = -1;
+    live = 0;
+    total = 0;
+    span = 0;
+    running = false;
+    switch_hook = None;
+  }
+
+let set_switch_hook t f = t.switch_hook <- Some f
+
+let cost_model t = t.cm
+let tid t = t.current
+let n_threads t = t.n
+let clock t = t.clocks.(t.current)
+let total_cycles t = t.total
+
+let makespan t =
+  let m = ref t.span in
+  for i = 0 to t.n - 1 do
+    if t.clocks.(i) > !m then m := t.clocks.(i)
+  done;
+  t.span <- !m;
+  !m
+
+let elapsed_seconds t =
+  let span = makespan t in
+  let shared = t.total / t.cm.Cost_model.cores in
+  Cost_model.cycles_to_seconds t.cm (max span shared)
+
+let charge t c =
+  t.clocks.(t.current) <- t.clocks.(t.current) + c;
+  t.total <- t.total + c;
+  if t.total > t.max_cycles then raise Cycle_limit_exceeded
+
+let force_yield t =
+  t.last_yield.(t.current) <- t.clocks.(t.current);
+  perform Yield
+
+let maybe_yield t =
+  if t.clocks.(t.current) - t.last_yield.(t.current) >= t.quantum then
+    force_yield t
+
+let stall t c =
+  (* The stalled time is not "work": it extends the thread's clock but not
+     the machine-wide total, so it models a descheduled thread. *)
+  t.clocks.(t.current) <- t.clocks.(t.current) + c;
+  force_yield t
+
+(* Pick the runnable thread with the smallest clock; break ties randomly so
+   that different seeds explore different interleavings. *)
+let pick t =
+  let best = ref (-1) and best_clock = ref max_int and ties = ref 0 in
+  for i = 0 to t.n - 1 do
+    match t.states.(i) with
+    | Finished -> ()
+    | Running -> assert false
+    | Not_started | Suspended _ ->
+        if t.clocks.(i) < !best_clock then (
+          best := i;
+          best_clock := t.clocks.(i);
+          ties := 1)
+        else if t.clocks.(i) = !best_clock then (
+          incr ties;
+          if next_rng t mod !ties = 0 then best := i)
+  done;
+  !best
+
+let run t ~n f =
+  if t.running then invalid_arg "Sched.run: scheduler already running";
+  if n <= 0 then invalid_arg "Sched.run: n must be positive";
+  t.running <- true;
+  t.n <- n;
+  t.total <- 0;
+  t.span <- 0;
+  t.clocks <- Array.init n (fun _ -> next_rng t land 15);
+  t.last_yield <- Array.make n 0;
+  t.states <- Array.make n Not_started;
+  t.live <- n;
+  let handler =
+    {
+      retc =
+        (fun () ->
+          t.states.(t.current) <- Finished;
+          t.live <- t.live - 1);
+      exnc = (fun e -> raise (Thread_failure (t.current, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  t.states.(t.current) <- Suspended k)
+          | _ -> None);
+    }
+  in
+  while t.live > 0 do
+    let i = pick t in
+    (match t.switch_hook with
+    | Some hook when i <> t.current -> hook ~tid:i ~clock:t.clocks.(i)
+    | _ -> ());
+    t.current <- i;
+    match t.states.(i) with
+    | Not_started ->
+        t.states.(i) <- Running;
+        match_with (fun () -> f i) () handler
+    | Suspended k ->
+        t.states.(i) <- Running;
+        continue k ()
+    | Running | Finished -> assert false
+  done;
+  t.current <- -1;
+  ignore (makespan t);
+  t.running <- false

@@ -1,0 +1,81 @@
+(** Discrete-event scheduler for simulated multicore executions.
+
+    Logical threads are OCaml effect-handler coroutines, each with its own
+    cycle clock.  The scheduler always resumes the runnable thread with the
+    smallest clock, so an execution is a sequentially-consistent
+    interleaving of the shared-memory accesses of [n] threads that (up to
+    the hardware-core cap of the cost model) run in parallel: simulated
+    elapsed time is the makespan, i.e. the largest per-thread clock.
+
+    Threads yield control at {e synchronisation points}.  Fine-grained
+    accesses may batch their costs locally and only yield once the [quantum]
+    is exceeded ({!maybe_yield}); compare-and-swap and fences always yield
+    ({!force_yield}) so that contended interleavings are explored at full
+    resolution.  With [quantum = 0] every shared access is a scheduling
+    point and the interleaving is exact.
+
+    Executions are deterministic for a fixed (seed, cost model, program). *)
+
+type t
+
+exception Thread_failure of int * exn
+(** [Thread_failure (tid, e)] aborts a {!run} when logical thread [tid]
+    raised [e]. *)
+
+exception Cycle_limit_exceeded
+(** Raised when the simulation exceeds the [max_cycles] safety bound,
+    indicating a livelocked or runaway workload. *)
+
+val create :
+  ?seed:int -> ?quantum:int -> ?max_cycles:int -> Cost_model.t -> t
+(** [create cm] makes a fresh scheduler.  [seed] (default [0]) perturbs
+    thread start times and tie-breaking; [quantum] (default [0]) is the
+    batching threshold in cycles for {!maybe_yield}; [max_cycles] (default
+    [2_000_000_000_000]) bounds the total simulated cycles. *)
+
+val cost_model : t -> Cost_model.t
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n f] executes [n] logical threads, thread [i] running [f i],
+    until all terminate.  Must not be called re-entrantly.  A scheduler may
+    be reused for several consecutive runs; cycle counters restart at each
+    run. *)
+
+val tid : t -> int
+(** Id of the currently executing logical thread.  Only meaningful inside
+    {!run}. *)
+
+val n_threads : t -> int
+
+val charge : t -> int -> unit
+(** [charge t c] advances the current thread's clock by [c] cycles without
+    yielding. *)
+
+val maybe_yield : t -> unit
+(** Yield if at least [quantum] cycles were charged since the last yield. *)
+
+val force_yield : t -> unit
+(** Unconditionally yield to the scheduler. *)
+
+val stall : t -> int -> unit
+(** [stall t c] charges [c] cycles and yields: the thread sleeps for [c]
+    simulated cycles while others run.  Used for stuck-thread injection. *)
+
+val clock : t -> int
+(** Cycle clock of the current thread. *)
+
+val makespan : t -> int
+(** Largest per-thread clock observed so far (final value after {!run}). *)
+
+val total_cycles : t -> int
+(** Sum of all cycles charged across threads. *)
+
+val elapsed_seconds : t -> float
+(** Simulated wall-clock seconds: the makespan, corrected for timesharing
+    when more threads than hardware cores were run, divided by the clock
+    rate. *)
+
+val set_switch_hook : t -> (tid:int -> clock:int -> unit) -> unit
+(** Install a callback fired whenever the scheduler resumes a different
+    thread than the one that last ran; used with {!Trace} to record
+    interleavings. *)

@@ -1,0 +1,40 @@
+type event = { time : int; tid : int; label : string }
+
+type t = {
+  ring : event option array;
+  mutable next : int;  (* insertion index *)
+  mutable count : int;  (* total recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { ring = Array.make capacity None; next = 0; count = 0 }
+
+let record t ~time ~tid label =
+  t.ring.(t.next) <- Some { time; tid; label };
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.count <- t.count + 1
+
+let length t = min t.count (Array.length t.ring)
+let dropped t = max 0 (t.count - Array.length t.ring)
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let start = if t.count <= cap then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.count <- 0
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%10d] t%-3d %s" e.time e.tid e.label
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t);
+  if dropped t > 0 then Format.fprintf ppf "(... %d earlier events dropped)@." (dropped t)

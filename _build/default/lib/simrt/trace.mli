@@ -1,0 +1,29 @@
+(** Bounded execution traces for debugging simulated runs.
+
+    A trace is a ring buffer of timestamped events.  Attach one to a
+    scheduler with {!Sched.set_switch_hook} to record context switches, or
+    record custom events from workload code.  Because simulated executions
+    are deterministic, a trace pinpoints an interleaving exactly. *)
+
+type t
+
+type event = { time : int; tid : int; label : string }
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] makes an empty trace keeping the last [capacity] (default
+    4096) events. *)
+
+val record : t -> time:int -> tid:int -> string -> unit
+
+val events : t -> event list
+(** Recorded events, oldest first. *)
+
+val length : t -> int
+(** Number of retained events (at most the capacity). *)
+
+val dropped : t -> int
+(** Number of events discarded because the ring was full. *)
+
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

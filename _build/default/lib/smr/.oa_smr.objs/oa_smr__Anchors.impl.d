@@ -1,0 +1,1 @@
+lib/smr/anchors.ml: Array Hashtbl List Oa_core Oa_mem Oa_runtime

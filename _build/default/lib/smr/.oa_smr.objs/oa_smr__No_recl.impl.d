@@ -1,0 +1,1 @@
+lib/smr/no_recl.ml: List Oa_core Oa_mem Oa_runtime

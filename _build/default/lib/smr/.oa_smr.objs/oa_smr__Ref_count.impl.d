@@ -1,0 +1,1 @@
+lib/smr/ref_count.ml: Array List Oa_core Oa_mem Oa_runtime

@@ -1,0 +1,1 @@
+lib/smr/schemes.ml: Anchors Ebr Hazard_pointers List No_recl Oa_core Oa_runtime Ref_count String

@@ -1,0 +1,232 @@
+(** Michael's hazard pointers (TPDS 2004), the paper's [HP] baseline.
+
+    Every read of a shared pointer publishes the target in a hazard slot,
+    issues a full fence, and validates by re-reading the source cell — the
+    costly read barrier whose elimination motivates optimistic access.
+    Retired nodes are buffered locally and a scan frees those not covered
+    by any thread's hazard slots.  Freed chunks are exchanged through a
+    global pool so that threads with asymmetric allocate/retire behaviour
+    do not starve each other. *)
+
+module Ptr = Oa_mem.Ptr
+
+module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
+  module R = Rt
+  module A = Oa_mem.Arena.Make (R)
+  module VP = Oa_core.Versioned_pool.Make (R)
+  module I = Oa_core.Smr_intf
+
+  type desc = {
+    obj : Ptr.t;
+    target : R.cell;
+    expected : int;
+    new_value : int;
+    expected_is_ptr : bool;
+    new_is_ptr : bool;
+  }
+
+  type ctx = {
+    mm : t;
+    hps : R.cell array;  (* read slots, then 3 * max_cas owner slots *)
+    mutable owner_used : int;
+    mutable retired : int array;
+    mutable n_retired : int;
+    mutable alloc_chunk : VP.chunk;
+    mutable s_allocs : int;
+    mutable s_retires : int;
+    mutable s_recycled : int;
+    mutable s_phases : int;
+    mutable s_fences : int;
+  }
+
+  and t = {
+    arena : A.t;
+    cfg : I.config;
+    ready : VP.Plain.t;
+    registry : ctx list R.rcell;
+  }
+
+  let name = "HP"
+
+  let create arena cfg =
+    { arena; cfg; ready = VP.Plain.create (); registry = R.rcell [] }
+
+  let set_successor _ _ = ()
+
+  let no_hp = -1
+
+  let register mm =
+    let cfg = mm.cfg in
+    let nslots = cfg.I.hp_slots + (3 * cfg.I.max_cas) in
+    let matrix = R.node_cells ~nodes:1 ~fields:nslots in
+    let hps = Array.init nslots (fun f -> matrix.(f).(0)) in
+    Array.iter (fun c -> R.write c no_hp) hps;
+    let ctx =
+      {
+        mm;
+        hps;
+        owner_used = 0;
+        retired = Array.make (max 16 (2 * cfg.I.retire_threshold)) (-1);
+        n_retired = 0;
+        alloc_chunk = VP.make_chunk cfg.I.chunk_size;
+        s_allocs = 0;
+        s_retires = 0;
+        s_recycled = 0;
+        s_phases = 0;
+        s_fences = 0;
+      }
+    in
+    let rec add () =
+      let l = R.rread mm.registry in
+      if not (R.rcas mm.registry l (ctx :: l)) then add ()
+    in
+    add ();
+    ctx
+
+  let op_begin _ = ()
+  let op_end _ = ()
+
+  (* The HP read barrier: publish, fence, validate by re-reading the source
+     cell; loop until stable.  Nulls need no protection. *)
+  let read_ptr ctx ~hp cell =
+    let rec protect v =
+      if Ptr.is_null v then v
+      else begin
+        R.write ctx.hps.(hp) (Ptr.unmark v);
+        R.fence ();
+        ctx.s_fences <- ctx.s_fences + 1;
+        let v' = R.read cell in
+        if v' = v then v else protect v'
+      end
+    in
+    protect (R.read cell)
+
+  let read_data _ cell = R.read cell
+
+  (* The pointer is already protected by another slot, which stays visible
+     until overwritten, so publication order makes this safe without a
+     fence (see Smr_intf). *)
+  let protect_move ctx ~hp p =
+    if not (Ptr.is_null p) then R.write ctx.hps.(hp) (Ptr.unmark p)
+
+  let check _ = ()
+
+  (* Operands of in-generator CASes are already covered by the read slots
+     that led to them, so no extra publication is needed. *)
+  let cas _ d = R.cas d.target d.expected d.new_value
+
+  (* Owner slots keep CAS-list objects protected through the wrap-up even
+     if later operations of the generator loop overwrite the read slots.
+     The objects are currently protected by read slots, so copying them
+     needs no fence. *)
+  let protect_descs ctx descs =
+    let base = ctx.mm.cfg.I.hp_slots in
+    let used = ref 0 in
+    let protect p =
+      if not (Ptr.is_null p) then begin
+        R.write ctx.hps.(base + !used) (Ptr.unmark p);
+        incr used
+      end
+    in
+    Array.iter
+      (fun d ->
+        protect d.obj;
+        if d.expected_is_ptr then protect d.expected;
+        if d.new_is_ptr then protect d.new_value)
+      descs;
+    ctx.owner_used <- !used
+
+  let clear_descs ctx =
+    let base = ctx.mm.cfg.I.hp_slots in
+    for j = 0 to ctx.owner_used - 1 do
+      R.write ctx.hps.(base + j) no_hp
+    done;
+    ctx.owner_used <- 0
+
+  let on_restart _ = ()
+
+  (* Scan (Michael's reclamation): free retired nodes not present in any
+     thread's hazard slots. *)
+  let scan ctx =
+    let mm = ctx.mm in
+    ctx.s_phases <- ctx.s_phases + 1;
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (t : ctx) ->
+        Array.iter
+          (fun slot ->
+            let v = R.read slot in
+            if v >= 0 then Hashtbl.replace tbl (Ptr.index v) ())
+          t.hps)
+      (R.rread mm.registry);
+    let kept = ref 0 in
+    let free_acc = ref (VP.make_chunk mm.cfg.I.chunk_size) in
+    let flush () =
+      if not (VP.chunk_empty !free_acc) then begin
+        VP.Plain.push mm.ready !free_acc;
+        free_acc := VP.make_chunk mm.cfg.I.chunk_size
+      end
+    in
+    for i = 0 to ctx.n_retired - 1 do
+      let idx = ctx.retired.(i) in
+      if Hashtbl.mem tbl idx then begin
+        ctx.retired.(!kept) <- idx;
+        incr kept
+      end
+      else begin
+        ctx.s_recycled <- ctx.s_recycled + 1;
+        if VP.chunk_full !free_acc then flush ();
+        VP.chunk_push !free_acc idx
+      end
+    done;
+    flush ();
+    ctx.n_retired <- !kept
+
+  let retire ctx p =
+    ctx.s_retires <- ctx.s_retires + 1;
+    if ctx.n_retired >= Array.length ctx.retired then begin
+      let bigger = Array.make (2 * Array.length ctx.retired) (-1) in
+      Array.blit ctx.retired 0 bigger 0 ctx.n_retired;
+      ctx.retired <- bigger
+    end;
+    ctx.retired.(ctx.n_retired) <- Ptr.index (Ptr.unmark p);
+    ctx.n_retired <- ctx.n_retired + 1;
+    if ctx.n_retired >= ctx.mm.cfg.I.retire_threshold then scan ctx
+
+  let refill ctx =
+    let mm = ctx.mm in
+    VP.refill ~arena:mm.arena ~ready:mm.ready ~chunk_size:mm.cfg.I.chunk_size
+      ~reclaim:(fun ~attempt:_ ->
+        let before = ctx.s_recycled in
+        scan ctx;
+        ctx.s_recycled > before)
+
+  let alloc ctx =
+    if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;
+    let idx = VP.chunk_pop ctx.alloc_chunk in
+    let p = Ptr.of_index idx in
+    A.zero_node ctx.mm.arena p;
+    ctx.s_allocs <- ctx.s_allocs + 1;
+    p
+
+  let dealloc ctx p =
+    if VP.chunk_full ctx.alloc_chunk then begin
+      VP.Plain.push ctx.mm.ready ctx.alloc_chunk;
+      ctx.alloc_chunk <- VP.make_chunk ctx.mm.cfg.I.chunk_size
+    end;
+    VP.chunk_push ctx.alloc_chunk (Ptr.index (Ptr.unmark p))
+
+  let stats mm =
+    List.fold_left
+      (fun acc (c : ctx) ->
+        I.add_stats acc
+          {
+            I.allocs = c.s_allocs;
+            retires = c.s_retires;
+            recycled = c.s_recycled;
+            restarts = 0;
+            phases = c.s_phases;
+            fences = c.s_fences;
+          })
+      I.empty_stats (R.rread mm.registry)
+end

@@ -1,0 +1,107 @@
+(** The no-reclamation baseline (the paper's [NoRecl]).
+
+    Allocation bumps through the arena and retired nodes are never
+    recycled, so the arena must be sized for the whole run:
+    [prefill + total expected allocations].  All barriers are free, which
+    makes this the baseline every other scheme's throughput is divided by
+    in the paper's figures. *)
+
+module Ptr = Oa_mem.Ptr
+
+module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
+  module R = Rt
+  module A = Oa_mem.Arena.Make (R)
+  module VP = Oa_core.Versioned_pool.Make (R)
+
+  type desc = {
+    obj : Ptr.t;
+    target : R.cell;
+    expected : int;
+    new_value : int;
+    expected_is_ptr : bool;
+    new_is_ptr : bool;
+  }
+
+  type ctx = {
+    mm : t;
+    mutable alloc_chunk : VP.chunk;
+    mutable s_allocs : int;
+    mutable s_retires : int;
+  }
+
+  and t = { arena : A.t; cfg : Oa_core.Smr_intf.config; registry : ctx list R.rcell }
+
+  let name = "NoRecl"
+  let create arena cfg = { arena; cfg; registry = R.rcell [] }
+
+  let set_successor _ _ = ()
+
+  let register mm =
+    let ctx =
+      { mm; alloc_chunk = VP.make_chunk 0; s_allocs = 0; s_retires = 0 }
+    in
+    let rec add () =
+      let l = R.rread mm.registry in
+      if not (R.rcas mm.registry l (ctx :: l)) then add ()
+    in
+    add ();
+    ctx
+
+  let op_begin _ = ()
+  let op_end _ = ()
+
+  let refill ctx =
+    let size = ctx.mm.cfg.Oa_core.Smr_intf.chunk_size in
+    let from_bump k =
+      match A.bump_range ctx.mm.arena k with
+      | None -> None
+      | Some first ->
+          let c = VP.make_chunk k in
+          for i = 0 to k - 1 do
+            VP.chunk_push c (first + i)
+          done;
+          Some c
+    in
+    match from_bump size with
+    | Some c -> c
+    | None -> (
+        match from_bump 1 with
+        | Some c -> c
+        | None -> raise Oa_core.Smr_intf.Arena_exhausted)
+
+  let alloc ctx =
+    if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;
+    let idx = VP.chunk_pop ctx.alloc_chunk in
+    let p = Ptr.of_index idx in
+    A.zero_node ctx.mm.arena p;
+    ctx.s_allocs <- ctx.s_allocs + 1;
+    p
+
+  let dealloc ctx p =
+    if not (VP.chunk_full ctx.alloc_chunk) then
+      VP.chunk_push ctx.alloc_chunk (Ptr.index (Ptr.unmark p))
+
+  let retire ctx _ = ctx.s_retires <- ctx.s_retires + 1
+  let read_ptr _ ~hp:_ cell = R.read cell
+  let read_data _ cell = R.read cell
+  let protect_move _ ~hp:_ _ = ()
+  let check _ = ()
+  let cas _ d = R.cas d.target d.expected d.new_value
+  let protect_descs _ _ = ()
+  let clear_descs _ = ()
+  let on_restart _ = ()
+
+  let stats mm =
+    List.fold_left
+      (fun acc (c : ctx) ->
+        Oa_core.Smr_intf.add_stats acc
+          {
+            Oa_core.Smr_intf.allocs = c.s_allocs;
+            retires = c.s_retires;
+            recycled = 0;
+            restarts = 0;
+            phases = 0;
+            fences = 0;
+          })
+      Oa_core.Smr_intf.empty_stats (R.rread mm.registry)
+end

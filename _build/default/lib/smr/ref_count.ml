@@ -1,0 +1,252 @@
+(** Lock-free reference counting (Valois-style), the related-work baseline
+    of the paper's Section 6.
+
+    Each node has a reference counter and a lifecycle flag in side tables
+    of the arena.  A pointer read increments the target's counter, then
+    validates by re-reading the source cell (retrying on change), and
+    releases the count previously held by the same hazard slot — at least
+    two atomic read-modify-writes per pointer read, which is why the paper
+    dismisses the approach as expensive; the [Extensions] section of the
+    bench output shows exactly that.
+
+    Correctness relies on {e type persistence} (the paper's citation [24]):
+    counters survive reclamation, so a stale increment that lands after a
+    node was freed is harmless — it is always paired with a decrement, and
+    a node is only freed when its count is zero, so the count of a live
+    node can never be driven negative.  A retired node is freed by whoever
+    observes count zero, with a flag CAS ([`Retired] to [`Freed]) arbitrating
+    between racing releasers and the retirer. *)
+
+module Ptr = Oa_mem.Ptr
+
+module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
+  module R = Rt
+  module A = Oa_mem.Arena.Make (R)
+  module VP = Oa_core.Versioned_pool.Make (R)
+  module I = Oa_core.Smr_intf
+
+  type desc = {
+    obj : Ptr.t;
+    target : R.cell;
+    expected : int;
+    new_value : int;
+    expected_is_ptr : bool;
+    new_is_ptr : bool;
+  }
+
+  (* lifecycle flag values *)
+  let live = 0
+  let flag_retired = 1
+  let freed = 2
+
+  type ctx = {
+    mm : t;
+    held : int array;  (* node index held by each slot, -1 if none *)
+    owner_held : int array;  (* counts acquired by protect_descs *)
+    mutable owner_used : int;
+    mutable alloc_chunk : VP.chunk;
+    mutable s_allocs : int;
+    mutable s_retires : int;
+    mutable s_recycled : int;
+    mutable s_fences : int;
+  }
+
+  and t = {
+    arena : A.t;
+    cfg : I.config;
+    counts : R.cell array;  (* per-node reference counters, own lines *)
+    flags : R.cell array;  (* per-node lifecycle flags *)
+    ready : VP.Plain.t;
+    registry : ctx list R.rcell;
+  }
+
+  let name = "RC"
+
+  let create arena cfg =
+    let capacity = A.capacity arena in
+    let one_per_node () =
+      let m = R.node_cells ~nodes:capacity ~fields:1 in
+      m.(0)
+    in
+    {
+      arena;
+      cfg;
+      counts = one_per_node ();
+      flags = one_per_node ();
+      ready = VP.Plain.create ();
+      registry = R.rcell [];
+    }
+
+  let set_successor _ _ = ()
+
+  let register mm =
+    let nslots = mm.cfg.I.hp_slots in
+    let ctx =
+      {
+        mm;
+        held = Array.make nslots (-1);
+        owner_held = Array.make (3 * mm.cfg.I.max_cas) (-1);
+        owner_used = 0;
+        alloc_chunk = VP.make_chunk mm.cfg.I.chunk_size;
+        s_allocs = 0;
+        s_retires = 0;
+        s_recycled = 0;
+        s_fences = 0;
+      }
+    in
+    let rec add () =
+      let l = R.rread mm.registry in
+      if not (R.rcas mm.registry l (ctx :: l)) then add ()
+    in
+    add ();
+    ctx
+
+  let op_begin _ = ()
+  let op_end _ = ()
+
+  let push_free ctx idx =
+    let mm = ctx.mm in
+    ctx.s_recycled <- ctx.s_recycled + 1;
+    if VP.chunk_full ctx.alloc_chunk then begin
+      VP.Plain.push mm.ready ctx.alloc_chunk;
+      ctx.alloc_chunk <- VP.make_chunk mm.cfg.I.chunk_size
+    end;
+    VP.chunk_push ctx.alloc_chunk idx
+
+  (* Try to free a retired node whose count reached zero; the flag CAS
+     arbitrates between racing releasers. *)
+  let try_free ctx idx =
+    if
+      R.read ctx.mm.flags.(idx) = flag_retired
+      && R.read ctx.mm.counts.(idx) = 0
+      && R.cas ctx.mm.flags.(idx) flag_retired freed
+    then push_free ctx idx
+
+  let release ctx idx =
+    if idx >= 0 then begin
+      let before = R.faa ctx.mm.counts.(idx) (-1) in
+      if before = 1 then try_free ctx idx
+    end
+
+  let acquire ctx idx = ignore (R.faa ctx.mm.counts.(idx) 1)
+
+  (* The RC read barrier: acquire the target, validate by re-reading the
+     source cell, release what this slot held before. *)
+  let read_ptr ctx ~hp cell =
+    let rec go v =
+      if Ptr.is_null v then begin
+        release ctx ctx.held.(hp);
+        ctx.held.(hp) <- -1;
+        v
+      end
+      else
+        let idx = Ptr.index (Ptr.unmark v) in
+        if ctx.held.(hp) = idx then v
+        else begin
+          acquire ctx idx;
+          let v' = R.read cell in
+          if v' = v then begin
+            release ctx ctx.held.(hp);
+            ctx.held.(hp) <- idx;
+            v
+          end
+          else begin
+            release ctx idx;
+            go v'
+          end
+        end
+    in
+    go (R.read cell)
+
+  let read_data _ cell = R.read cell
+
+  let protect_move ctx ~hp p =
+    if not (Ptr.is_null p) then begin
+      let idx = Ptr.index (Ptr.unmark p) in
+      if ctx.held.(hp) <> idx then begin
+        (* already counted via another slot, so a bare acquire is safe *)
+        acquire ctx idx;
+        release ctx ctx.held.(hp);
+        ctx.held.(hp) <- idx
+      end
+    end
+
+  let check _ = ()
+  let cas _ d = R.cas d.target d.expected d.new_value
+
+  let protect_descs ctx descs =
+    let used = ref 0 in
+    let hold p =
+      if not (Ptr.is_null p) then begin
+        let idx = Ptr.index (Ptr.unmark p) in
+        acquire ctx idx;
+        ctx.owner_held.(!used) <- idx;
+        incr used
+      end
+    in
+    Array.iter
+      (fun d ->
+        hold d.obj;
+        if d.expected_is_ptr then hold d.expected;
+        if d.new_is_ptr then hold d.new_value)
+      descs;
+    ctx.owner_used <- !used
+
+  let clear_descs ctx =
+    for j = 0 to ctx.owner_used - 1 do
+      release ctx ctx.owner_held.(j);
+      ctx.owner_held.(j) <- -1
+    done;
+    ctx.owner_used <- 0
+
+  let on_restart _ = ()
+
+  let retire ctx p =
+    ctx.s_retires <- ctx.s_retires + 1;
+    let idx = Ptr.index (Ptr.unmark p) in
+    R.write ctx.mm.flags.(idx) flag_retired;
+    R.fence ();
+    ctx.s_fences <- ctx.s_fences + 1;
+    try_free ctx idx
+
+  let refill ctx =
+    let mm = ctx.mm in
+    (* Reclamation is eager (nodes free at release time and flow into the
+       ready pool), so there is no scan to run under pressure: releasing
+       this thread's slot holds here would drop protection mid-operation.
+       The retry loop picks up chunks as other threads release counts. *)
+    VP.refill ~arena:mm.arena ~ready:mm.ready ~chunk_size:mm.cfg.I.chunk_size
+      ~reclaim:(fun ~attempt:_ -> false)
+
+  let alloc ctx =
+    if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;
+    let idx = VP.chunk_pop ctx.alloc_chunk in
+    let p = Ptr.of_index idx in
+    A.zero_node ctx.mm.arena p;
+    (* the counter is NOT reset: stale acquire/release pairs may still be
+       in flight and always cancel out; the flag returns to live *)
+    R.write ctx.mm.flags.(idx) live;
+    ctx.s_allocs <- ctx.s_allocs + 1;
+    p
+
+  let dealloc ctx p =
+    if VP.chunk_full ctx.alloc_chunk then begin
+      VP.Plain.push ctx.mm.ready ctx.alloc_chunk;
+      ctx.alloc_chunk <- VP.make_chunk ctx.mm.cfg.I.chunk_size
+    end;
+    VP.chunk_push ctx.alloc_chunk (Ptr.index (Ptr.unmark p))
+
+  let stats mm =
+    List.fold_left
+      (fun acc (c : ctx) ->
+        I.add_stats acc
+          {
+            I.allocs = c.s_allocs;
+            retires = c.s_retires;
+            recycled = c.s_recycled;
+            restarts = 0;
+            phases = 0;
+            fences = c.s_fences;
+          })
+      I.empty_stats (R.rread mm.registry)
+end

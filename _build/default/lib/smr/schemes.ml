@@ -1,0 +1,73 @@
+(** Registry of all SMR schemes and compile-time conformance checks.
+
+    Instantiating this functor verifies that every scheme satisfies
+    {!Oa_core.Smr_intf.S}; {!Make.all} enumerates them for harness sweeps. *)
+
+type id =
+  | No_reclamation
+  | Optimistic_access
+  | Hazard_pointers
+  | Epoch_based
+  | Anchors
+  | Ref_counting
+      (** extension beyond the paper's measured schemes: the related-work
+          reference-counting baseline of Section 6 *)
+
+let all_ids =
+  [
+    No_reclamation;
+    Optimistic_access;
+    Hazard_pointers;
+    Epoch_based;
+    Anchors;
+    Ref_counting;
+  ]
+
+let id_name = function
+  | No_reclamation -> "NoRecl"
+  | Optimistic_access -> "OA"
+  | Hazard_pointers -> "HP"
+  | Epoch_based -> "EBR"
+  | Anchors -> "Anchors"
+  | Ref_counting -> "RC"
+
+let id_of_name s =
+  match String.lowercase_ascii s with
+  | "norecl" | "none" -> Some No_reclamation
+  | "oa" -> Some Optimistic_access
+  | "hp" -> Some Hazard_pointers
+  | "ebr" -> Some Epoch_based
+  | "anchors" -> Some Anchors
+  | "rc" | "refcount" -> Some Ref_counting
+  | _ -> None
+
+module Make (R : Oa_runtime.Runtime_intf.S) = struct
+  module No_recl_s = No_recl.Make (R)
+  module Oa_s = Oa_core.Oa.Make (R)
+  module Hp_s = Hazard_pointers.Make (R)
+  module Ebr_s = Ebr.Make (R)
+  module Anchors_s = Anchors.Make (R)
+  module Rc_s = Ref_count.Make (R)
+
+  (* Conformance: each scheme implements the common interface. *)
+  module type S_with_r = Oa_core.Smr_intf.S with module R = R
+
+  module _ : S_with_r = No_recl_s
+  module _ : S_with_r = Oa_s
+  module _ : S_with_r = Hp_s
+  module _ : S_with_r = Ebr_s
+  module _ : S_with_r = Anchors_s
+  module _ : S_with_r = Rc_s
+
+  let pack (id : id) : (module S_with_r) =
+    match id with
+    | No_reclamation -> (module No_recl_s)
+    | Optimistic_access -> (module Oa_s)
+    | Hazard_pointers -> (module Hp_s)
+    | Epoch_based -> (module Ebr_s)
+    | Anchors -> (module Anchors_s)
+    | Ref_counting -> (module Rc_s)
+
+  let all : (id * (module S_with_r)) list =
+    List.map (fun id -> (id, pack id)) all_ids
+end

@@ -1,0 +1,1 @@
+lib/structures/hash_table.ml: Array Linked_list List Oa_core Oa_mem Printf

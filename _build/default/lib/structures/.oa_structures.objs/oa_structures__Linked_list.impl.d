@@ -1,0 +1,1 @@
+lib/structures/linked_list.ml: Array List Oa_core Oa_mem Printf

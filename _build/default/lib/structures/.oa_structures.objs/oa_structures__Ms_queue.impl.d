@@ -1,0 +1,1 @@
+lib/structures/ms_queue.ml: List Oa_core Oa_mem

@@ -1,0 +1,1 @@
+lib/structures/skip_list.ml: Array Hashtbl List Oa_core Oa_mem Oa_util Printf

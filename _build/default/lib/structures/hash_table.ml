@@ -1,0 +1,70 @@
+(** Lock-free hash table (Michael, SPAA 2002): an array of buckets, each a
+    Harris-Michael linked list.
+
+    As in the paper's evaluation: a fixed bucket count chosen for a load
+    factor of 0.75 at the expected size, no resizing, so with 10 000 keys
+    the average chain length is below one node — operations are extremely
+    short and the per-operation costs of the SMR schemes (EBR's fence per
+    operation, HP's fence per read) dominate, which is what Figure 1's hash
+    panel shows.
+
+    Every bucket head is a sentinel node from the shared arena; all buckets
+    share one arena and one SMR instance. *)
+
+module Ptr = Oa_mem.Ptr
+
+module Make (S : Oa_core.Smr_intf.S) = struct
+  module R = S.R
+  module A = Oa_mem.Arena.Make (S.R)
+  module L = Linked_list.Make (S)
+
+  type t = { list : L.t; buckets : Ptr.t array; mask : int }
+  type ctx = L.ctx
+
+  (* Power-of-two bucket count >= expected / load_factor. *)
+  let bucket_count ~expected_size =
+    let target = int_of_float (ceil (float_of_int expected_size /. 0.75)) in
+    let rec pow2 n = if n >= target then n else pow2 (2 * n) in
+    pow2 16
+
+  let create ~capacity ~expected_size cfg =
+    let n_buckets = bucket_count ~expected_size in
+    let arena = A.create ~capacity:(capacity + n_buckets) ~n_fields:L.n_fields in
+    let smr = S.create arena cfg in
+    let list = L.on_arena arena smr in
+    (* [on_arena] allocated one sentinel we use as bucket 0. *)
+    let buckets =
+      Array.init n_buckets (fun i ->
+          if i = 0 then L.head list else L.alloc_sentinel arena)
+    in
+    { list; buckets; mask = n_buckets - 1 }
+
+  let register t = L.register t.list
+  let smr t = L.smr t.list
+  let n_buckets t = Array.length t.buckets
+
+  (* Fibonacci hashing: spreads consecutive keys across buckets. *)
+  let bucket t key = t.buckets.((key * 0x2545F4914F6CDD1D) lsr 13 land t.mask)
+
+  let contains t ctx key = L.contains_at ctx ~head:(bucket t key) key
+  let insert t ctx key = L.insert_at ctx ~head:(bucket t key) key
+  let delete t ctx key = L.delete_at ctx ~head:(bucket t key) key
+
+  (* --- Quiescent helpers --- *)
+
+  let to_list t =
+    Array.fold_left
+      (fun acc head -> List.rev_append (L.to_list_from t.list ~head) acc)
+      [] t.buckets
+    |> List.sort compare
+
+  let validate t ~limit =
+    let rec go i =
+      if i >= Array.length t.buckets then Ok ()
+      else
+        match L.validate_from t.list ~head:t.buckets.(i) ~limit with
+        | Ok () -> go (i + 1)
+        | Error e -> Error (Printf.sprintf "bucket %d: %s" i e)
+    in
+    go 0
+end

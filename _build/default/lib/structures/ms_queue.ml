@@ -1,0 +1,189 @@
+(** Michael-Scott lock-free FIFO queue in normalized form — an extension
+    beyond the paper's three structures, demonstrating that the
+    optimistic-access machinery applies to any normalized data structure
+    (the normalized-form paper of Timnat & Petrank uses this queue as its
+    running example).
+
+    The queue is the classic two-pointer design: [head] points at a dummy
+    node whose successors hold the values; [tail] points at the last or
+    second-to-last node.  Enqueue's CAS list is [link at tail; swing tail]
+    — the operation succeeded as soon as the link CAS did, a failing swing
+    is fixed by helpers.  Dequeue's single CAS advances [head]; the old
+    dummy becomes unreachable to new operations and is properly retired in
+    the wrap-up (before any barrier, so the retire happens exactly once).
+
+    The [head] and [tail] pointers live outside the arena and are never
+    reclaimed; CAS descriptors targeting them carry a null [obj], which the
+    schemes' protection paths ignore while still protecting the node
+    operands. *)
+
+module Ptr = Oa_mem.Ptr
+
+module Make (S : Oa_core.Smr_intf.S) = struct
+  module R = S.R
+  module A = Oa_mem.Arena.Make (S.R)
+  module N = Oa_core.Normalized.Make (S)
+
+  let f_value = 0
+  let f_next = 1
+  let n_fields = 2
+
+  type t = { arena : A.t; smr : S.t; head : R.cell; tail : R.cell }
+  type ctx = { t : t; sctx : S.ctx }
+
+  let value_cell t p = A.field t.arena p f_value
+  let next_cell t p = A.field t.arena p f_next
+
+  let create ~capacity cfg =
+    let arena = A.create ~capacity ~n_fields in
+    let smr = S.create arena cfg in
+    S.set_successor smr (fun p -> Ptr.unmark (R.read (A.field arena p f_next)));
+    match A.bump_range arena 1 with
+    | None -> raise Oa_core.Smr_intf.Arena_exhausted
+    | Some idx ->
+        let dummy = Ptr.of_index idx in
+        R.write (A.field arena dummy f_next) Ptr.null;
+        { arena; smr; head = R.cell dummy; tail = R.cell dummy }
+
+  let register t = { t; sctx = S.register t.smr }
+  let smr t = t.smr
+
+  let no_descs : S.desc array = [||]
+
+  (** [enqueue ctx v] appends [v]; always succeeds. *)
+  let enqueue ctx v =
+    let t = ctx.t and sctx = ctx.sctx in
+    let node = ref Ptr.null in
+    let generator () =
+      if Ptr.is_null !node then node := S.alloc sctx;
+      R.write (value_cell t !node) v;
+      R.write (next_cell t !node) Ptr.null;
+      let rec position () =
+        let tail = S.read_ptr sctx ~hp:0 t.tail in
+        let next = S.read_ptr sctx ~hp:1 (next_cell t tail) in
+        if not (Ptr.is_null next) then begin
+          (* tail lags: help swing it (restartable auxiliary CAS) *)
+          ignore
+            (S.cas sctx
+               {
+                 S.obj = Ptr.null;
+                 target = t.tail;
+                 expected = tail;
+                 new_value = Ptr.unmark next;
+                 expected_is_ptr = true;
+                 new_is_ptr = true;
+               });
+          position ()
+        end
+        else
+          ( [|
+              {
+                S.obj = tail;
+                target = next_cell t tail;
+                expected = Ptr.null;
+                new_value = !node;
+                expected_is_ptr = true;
+                new_is_ptr = true;
+              };
+              {
+                S.obj = Ptr.null;
+                target = t.tail;
+                expected = tail;
+                new_value = !node;
+                expected_is_ptr = true;
+                new_is_ptr = true;
+              };
+            |],
+            () )
+      in
+      position ()
+    in
+    let wrap_up ~descs:_ ~failed () =
+      (* the operation took effect iff the link CAS (index 0) succeeded; a
+         failed tail swing (index 1) is repaired by helpers *)
+      if failed = 0 then N.Restart_generator else N.Finish ()
+    in
+    N.run_op sctx ~generator ~wrap_up
+
+  (** [dequeue ctx] removes and returns the oldest value, or [None] when
+      the queue is empty.  The old dummy node is retired. *)
+  let dequeue ctx =
+    let t = ctx.t and sctx = ctx.sctx in
+    let generator () =
+      let rec position () =
+        let head = S.read_ptr sctx ~hp:0 t.head in
+        let tail = S.read_data sctx t.tail in
+        let next = S.read_ptr sctx ~hp:1 (next_cell t head) in
+        if Ptr.is_null next then (no_descs, None)
+        else if Ptr.equal head tail then begin
+          (* tail lags behind a non-empty queue: help it forward *)
+          ignore
+            (S.cas sctx
+               {
+                 S.obj = Ptr.null;
+                 target = t.tail;
+                 expected = tail;
+                 new_value = Ptr.unmark next;
+                 expected_is_ptr = true;
+                 new_is_ptr = true;
+               });
+          position ()
+        end
+        else begin
+          let v = S.read_data sctx (value_cell t (Ptr.unmark next)) in
+          S.check sctx;
+          ( [|
+              {
+                S.obj = Ptr.null;
+                target = t.head;
+                expected = head;
+                new_value = next;
+                expected_is_ptr = true;
+                new_is_ptr = true;
+              };
+            |],
+            Some (v, head) )
+        end
+      in
+      position ()
+    in
+    let wrap_up ~descs:_ ~failed aux =
+      match aux with
+      | None -> N.Finish None
+      | Some (v, old_head) ->
+          if failed <> N.none_failed then N.Restart_generator
+          else begin
+            (* the old dummy is now unreachable to new operations; retire
+               it before any barrier so a wrap-up restart cannot repeat it *)
+            S.retire ctx.sctx old_head;
+            N.Finish (Some v)
+          end
+    in
+    N.run_op sctx ~generator ~wrap_up
+
+  (* --- Quiescent helpers --- *)
+
+  (** Values currently queued, oldest first. *)
+  let to_list t =
+    let rec go acc p =
+      if Ptr.is_null p then List.rev acc
+      else
+        let u = Ptr.unmark p in
+        go (R.read (value_cell t u) :: acc) (R.read (next_cell t u))
+    in
+    go [] (R.read (next_cell t (Ptr.unmark (R.read t.head))))
+
+  (** Structural invariants: the head chain reaches tail and terminates
+      within [limit] hops. *)
+  let validate t ~limit =
+    let tail = Ptr.unmark (R.read t.tail) in
+    let rec go p hops seen_tail =
+      if hops > limit then Error "queue does not terminate (cycle?)"
+      else if Ptr.is_null p then
+        if seen_tail then Ok () else Error "tail not reachable from head"
+      else
+        let u = Ptr.unmark p in
+        go (R.read (next_cell t u)) (hops + 1) (seen_tail || Ptr.equal u tail)
+    in
+    go (R.read t.head) 0 false
+end

@@ -1,0 +1,449 @@
+(** Herlihy-Shavit lock-free skip list ("The Art of Multiprocessor
+    Programming", ch. 14) in normalized form.
+
+    An ordered set of integer keys.  Nodes carry a key, a level, an
+    unlink counter and [max_level] next fields; the mark bit of
+    [next.(lvl)] logically deletes the node at that level.  As the paper
+    describes (Section 5), the delete generator emits up to [level + 1]
+    CASes that mark the victim's next fields top-down — the bottom-level
+    mark is the linearization point — and the wrap-up restarts the
+    generator when any CAS fails.  Insertion links the bottom level through
+    the CAS executor (the linearization point) and links the upper levels
+    in the wrap-up with restartable protected CASes.
+
+    Physical unlinking happens inside [find] (a restartable auxiliary CAS),
+    which also counts, per node, how many of its levels have been unlinked;
+    the unlink that completes the count retires the node — only then is it
+    unreachable from every level, making the retire {e proper}.  The
+    counter is updated with a raw fetch-and-add, which is safe because a
+    node cannot have been retired before its count is complete.
+
+    Hazard-slot layout (HP-style schemes): slots [0..max_level-1] park the
+    per-level predecessors, [max_level..2*max_level-1] the per-level
+    successors, and three rotating slots serve the traversal — the paper's
+    [2*MAXLEN + 3] hazard pointers. *)
+
+module Ptr = Oa_mem.Ptr
+
+module Make (S : Oa_core.Smr_intf.S) = struct
+  module R = S.R
+  module A = Oa_mem.Arena.Make (S.R)
+  module N = Oa_core.Normalized.Make (S)
+
+  let max_level = 16
+  let f_key = 0
+  let f_level = 1
+  let f_count = 2
+  let f_next = 3
+  let n_fields = f_next + max_level
+
+  (** Slots expected by this structure; pass to {!Oa_core.Smr_intf.config}:
+      [hp_slots = hp_slots_needed] and [max_cas = max_cas_needed]. *)
+  let hp_slots_needed = (2 * max_level) + 3
+
+  let max_cas_needed = max_level + 1
+
+  let s_rot0 = 2 * max_level
+  let p_slot lvl = lvl
+  let s_slot lvl = max_level + lvl
+
+  type t = { arena : A.t; smr : S.t; head : Ptr.t }
+
+  type ctx = {
+    t : t;
+    sctx : S.ctx;
+    rng : Oa_util.Splitmix.t;
+    preds : Ptr.t array;
+    succs : Ptr.t array;
+  }
+
+  let key_cell t p = A.field t.arena p f_key
+  let level_cell t p = A.field t.arena p f_level
+  let count_cell t p = A.field t.arena p f_count
+  let next_cell t p lvl = A.field t.arena p (f_next + lvl)
+
+  let create ~capacity cfg =
+    let arena = A.create ~capacity ~n_fields in
+    let smr = S.create arena cfg in
+    S.set_successor smr (fun p -> Ptr.unmark (R.read (A.field arena p f_next)));
+    let head =
+      match A.bump_range arena 1 with
+      | None -> raise Oa_core.Smr_intf.Arena_exhausted
+      | Some idx ->
+          let p = Ptr.of_index idx in
+          R.write (A.field arena p f_key) min_int;
+          R.write (A.field arena p f_level) max_level;
+          for lvl = 0 to max_level - 1 do
+            R.write (A.field arena p (f_next + lvl)) Ptr.null
+          done;
+          p
+    in
+    { arena; smr; head }
+
+  let register ?(seed = 1) t =
+    {
+      t;
+      sctx = S.register t.smr;
+      rng = Oa_util.Splitmix.create (seed lor 1);
+      preds = Array.make max_level Ptr.null;
+      succs = Array.make max_level Ptr.null;
+    }
+
+  let smr t = t.smr
+  let head t = t.head
+
+  (* Geometric level distribution, p = 1/2, in [1, max_level]. *)
+  let random_level ctx =
+    let bits = Oa_util.Splitmix.next ctx.rng in
+    let rec count lvl b =
+      if lvl >= max_level || b land 1 = 0 then lvl else count (lvl + 1) (b lsr 1)
+    in
+    count 1 bits
+
+  (* A successful unlink of [node] at some level bumps its counter; the
+     unlink that completes the count makes the node unreachable from every
+     level and performs the proper retire. *)
+  let note_unlink ctx node =
+    let t = ctx.t in
+    let lvl_count = R.read (level_cell t node) in
+    let before = R.faa (count_cell t node) 1 in
+    if before + 1 = lvl_count then S.retire ctx.sctx node
+
+  (* The find helper: fills [ctx.preds] and [ctx.succs] for [key] at every
+     level, physically unlinking marked nodes on the way (restartable
+     auxiliary CASes), and returns whether an unmarked node with [key] sits
+     at the bottom level. *)
+  let find ctx key =
+    let t = ctx.t and sctx = ctx.sctx in
+    let rec start () =
+      let s_cur = ref s_rot0 and s_next = ref (s_rot0 + 1) in
+      let pred = ref t.head in
+      let found = ref false in
+      let rec level lvl =
+        if lvl < 0 then !found
+        else begin
+          let cur = ref (S.read_ptr sctx ~hp:!s_cur (next_cell t !pred lvl)) in
+          if Ptr.is_marked !cur then start ()
+          else begin
+            let rec walk () =
+              if Ptr.is_null !cur then begin
+                S.protect_move sctx ~hp:(p_slot lvl) !pred;
+                ctx.preds.(lvl) <- !pred;
+                ctx.succs.(lvl) <- Ptr.null;
+                if lvl = 0 then found := false;
+                level (lvl - 1)
+              end
+              else begin
+                let curp = Ptr.unmark !cur in
+                (* key and succ are independent reads; read_ptr's check
+                   covers both (batched-reads optimization). *)
+                let ckey = S.read_data sctx (key_cell t curp) in
+                let succ = S.read_ptr sctx ~hp:!s_next (next_cell t curp lvl) in
+                if Ptr.is_marked succ then begin
+                  (* snip the deleted [curp] out of this level *)
+                  let unmarked = Ptr.unmark succ in
+                  let ok =
+                    S.cas sctx
+                      {
+                        S.obj = !pred;
+                        target = next_cell t !pred lvl;
+                        expected = !cur;
+                        new_value = unmarked;
+                        expected_is_ptr = true;
+                        new_is_ptr = true;
+                      }
+                  in
+                  if not ok then start ()
+                  else begin
+                    note_unlink ctx curp;
+                    let freed = !s_cur in
+                    s_cur := !s_next;
+                    s_next := freed;
+                    cur := unmarked;
+                    walk ()
+                  end
+                end
+                else if ckey < key then begin
+                  S.protect_move sctx ~hp:(p_slot lvl) curp;
+                  pred := curp;
+                  let freed = !s_cur in
+                  s_cur := !s_next;
+                  s_next := freed;
+                  cur := succ;
+                  walk ()
+                end
+                else begin
+                  S.protect_move sctx ~hp:(p_slot lvl) !pred;
+                  S.protect_move sctx ~hp:(s_slot lvl) curp;
+                  ctx.preds.(lvl) <- !pred;
+                  ctx.succs.(lvl) <- curp;
+                  if lvl = 0 then found := ckey = key;
+                  level (lvl - 1)
+                end
+              end
+            in
+            walk ()
+          end
+        end
+      in
+      level (max_level - 1)
+    in
+    start ()
+
+  let no_descs : S.desc array = [||]
+
+  (** [contains ctx key]: a CAS-free descent that skips marked nodes. *)
+  let contains ctx key =
+    let t = ctx.t and sctx = ctx.sctx in
+    let generator () =
+      let s_cur = ref s_rot0 and s_next = ref (s_rot0 + 1) in
+      let pred = ref t.head in
+      let rec level lvl found =
+        if lvl < 0 then (no_descs, found)
+        else begin
+          let cur = ref (S.read_ptr sctx ~hp:!s_cur (next_cell t !pred lvl)) in
+          let rec walk found =
+            if Ptr.is_null !cur then level (lvl - 1) found
+            else begin
+              let curp = Ptr.unmark !cur in
+              (* independent reads; read_ptr's check covers both *)
+              let ckey = S.read_data sctx (key_cell t curp) in
+              let succ = S.read_ptr sctx ~hp:!s_next (next_cell t curp lvl) in
+              if Ptr.is_marked succ then begin
+                (* skip the logically deleted node without unlinking *)
+                let freed = !s_cur in
+                s_cur := !s_next;
+                s_next := freed;
+                cur := Ptr.unmark succ;
+                walk found
+              end
+              else if ckey < key then begin
+                S.protect_move sctx ~hp:(p_slot lvl) curp;
+                pred := curp;
+                let freed = !s_cur in
+                s_cur := !s_next;
+                s_next := freed;
+                cur := succ;
+                walk found
+              end
+              else level (lvl - 1) (ckey = key)
+            end
+          in
+          walk found
+        end
+      in
+      level (max_level - 1) false
+    in
+    let wrap_up ~descs:_ ~failed:_ found = N.Finish found in
+    N.run_op sctx ~generator ~wrap_up
+
+  (* Link the upper levels of a freshly inserted node; runs in the wrap-up
+     and is restartable: every iteration re-finds the position and every
+     modification is a protected CAS whose failure just retries. *)
+  let link_upper ctx node level key =
+    let t = ctx.t and sctx = ctx.sctx in
+    let rec link lvl =
+      if lvl < level then begin
+        ignore (find ctx key);
+        if Ptr.equal ctx.succs.(lvl) node then link (lvl + 1)
+        else begin
+          let c = S.read_ptr sctx ~hp:(s_rot0 + 2) (next_cell t node lvl) in
+          if Ptr.is_marked c then () (* node was deleted: stop linking *)
+          else begin
+            let target_succ = ctx.succs.(lvl) in
+            let retry = ref false in
+            if c <> target_succ then begin
+              let ok =
+                S.cas sctx
+                  {
+                    S.obj = node;
+                    target = next_cell t node lvl;
+                    expected = c;
+                    new_value = target_succ;
+                    expected_is_ptr = true;
+                    new_is_ptr = true;
+                  }
+              in
+              if not ok then retry := true
+            end;
+            if !retry then link lvl
+            else begin
+              let ok =
+                S.cas sctx
+                  {
+                    S.obj = ctx.preds.(lvl);
+                    target = next_cell t ctx.preds.(lvl) lvl;
+                    expected = target_succ;
+                    new_value = node;
+                    expected_is_ptr = true;
+                    new_is_ptr = true;
+                  }
+              in
+              if ok then link (lvl + 1) else link lvl
+            end
+          end
+        end
+      end
+    in
+    link 1
+
+  (** [insert ctx key] adds [key] with a random level; false if present.
+      The bottom-level link is the single CAS of the executor. *)
+  let insert ctx key =
+    let t = ctx.t and sctx = ctx.sctx in
+    let node = ref Ptr.null in
+    let node_level = ref 0 in
+    let generator () =
+      let found = find ctx key in
+      if found then begin
+        if not (Ptr.is_null !node) then begin
+          S.dealloc sctx !node;
+          node := Ptr.null
+        end;
+        (no_descs, false)
+      end
+      else begin
+        if Ptr.is_null !node then begin
+          node := S.alloc sctx;
+          node_level := random_level ctx
+        end;
+        R.write (key_cell t !node) key;
+        R.write (level_cell t !node) !node_level;
+        R.write (count_cell t !node) 0;
+        for lvl = 0 to !node_level - 1 do
+          R.write (next_cell t !node lvl) ctx.succs.(lvl)
+        done;
+        let d =
+          {
+            S.obj = ctx.preds.(0);
+            target = next_cell t ctx.preds.(0) 0;
+            expected = ctx.succs.(0);
+            new_value = !node;
+            expected_is_ptr = true;
+            new_is_ptr = true;
+          }
+        in
+        ([| d |], true)
+      end
+    in
+    let wrap_up ~descs:_ ~failed attempted =
+      if not attempted then N.Finish false
+      else if failed <> N.none_failed then N.Restart_generator
+      else begin
+        if !node_level > 1 then link_upper ctx !node !node_level key;
+        N.Finish true
+      end
+    in
+    N.run_op sctx ~generator ~wrap_up
+
+  (** [delete ctx key] marks the victim's next fields top-down (bottom
+      last, the linearization point); at most [level] CASes, the paper's
+      [MAXLEN + 1] bound.  A post-success [find] physically unlinks the
+      node promptly, as in Herlihy-Shavit. *)
+  let delete ctx key =
+    let t = ctx.t and sctx = ctx.sctx in
+    let generator () =
+      let found = find ctx key in
+      if not found then (no_descs, ())
+      else begin
+        let node = ctx.succs.(0) in
+        let level = S.read_data sctx (level_cell t node) in
+        S.check sctx;
+        let descs = ref [] in
+        let abort = ref false in
+        for lvl = level - 1 downto 0 do
+          if not !abort then begin
+            let nx = S.read_ptr sctx ~hp:(s_rot0 + 2) (next_cell t node lvl) in
+            if Ptr.is_marked nx then begin
+              (* someone else is deleting; at the bottom level they win *)
+              if lvl = 0 then abort := true
+            end
+            else
+              descs :=
+                {
+                  S.obj = node;
+                  target = next_cell t node lvl;
+                  expected = nx;
+                  new_value = Ptr.mark nx;
+                  expected_is_ptr = true;
+                  new_is_ptr = true;
+                }
+                :: !descs
+          end
+        done;
+        if !abort then (no_descs, ())
+        else
+          (* built bottom-up by the downto loop; reverse for top-down
+             execution with the bottom-level CAS last *)
+          (Array.of_list (List.rev !descs), ())
+      end
+    in
+    let wrap_up ~descs ~failed () =
+      if Array.length descs = 0 then N.Finish false
+      else if failed <> N.none_failed then N.Restart_generator
+      else begin
+        ignore (find ctx key);
+        N.Finish true
+      end
+    in
+    N.run_op ctx.sctx ~generator ~wrap_up
+
+  (* --- Quiescent helpers --- *)
+
+  (** Keys of unmarked bottom-level nodes, in order. *)
+  let to_list t =
+    let rec go acc p =
+      if Ptr.is_null p then List.rev acc
+      else
+        let u = Ptr.unmark p in
+        let next = R.read (next_cell t u 0) in
+        let acc =
+          if Ptr.is_marked next then acc else R.read (key_cell t u) :: acc
+        in
+        go acc next
+    in
+    go [] (R.read (next_cell t t.head 0))
+
+  (** Structural invariants: strictly increasing unmarked keys at level 0,
+      every level-[l] list a subsequence of level 0's unmarked nodes,
+      termination within [limit] hops per level. *)
+  let validate t ~limit =
+    let level_nodes lvl =
+      let rec go acc p hops =
+        if hops > limit then Error "level does not terminate"
+        else if Ptr.is_null p then Ok (List.rev acc)
+        else
+          let u = Ptr.unmark p in
+          let next = R.read (next_cell t u lvl) in
+          let acc = if Ptr.is_marked next then acc else Ptr.index u :: acc in
+          go acc next (hops + 1)
+      in
+      go [] (R.read (next_cell t t.head lvl)) 0
+    in
+    match level_nodes 0 with
+    | Error e -> Error e
+    | Ok base ->
+        let keys = List.map (fun i -> R.read (key_cell t (Ptr.of_index i))) base in
+        let rec increasing last = function
+          | [] -> true
+          | k :: rest -> k > last && increasing k rest
+        in
+        if not (increasing min_int keys) then Error "keys not increasing"
+        else
+          let base_set = Hashtbl.create 64 in
+          List.iter (fun i -> Hashtbl.replace base_set i ()) base;
+          let rec check lvl =
+            if lvl >= max_level then Ok ()
+            else
+              match level_nodes lvl with
+              | Error e -> Error e
+              | Ok nodes ->
+                  if List.for_all (Hashtbl.mem base_set) nodes then
+                    check (lvl + 1)
+                  else
+                    Error
+                      (Printf.sprintf
+                         "level %d contains a node missing from level 0" lvl)
+          in
+          check 1
+end

@@ -1,0 +1,30 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood, OOPSLA 2014).
+
+    Small, fast and statistically solid for simulation purposes; every
+    consumer in this repository (scheduler tie-breaking, skip-list levels,
+    workload key streams) derives its own independently seeded instance, so
+    experiments are reproducible from a single seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let z = Int64.add t.state 0x9E3779B97F4A7C15L in
+  t.state <- z;
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+(** Uniform non-negative int (62 bits). *)
+let next t = Int64.(to_int (logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL))
+
+(** [below t n] — uniform in [0, n).  [n > 0]. *)
+let below t n = next t mod n
+
+(** [float t] — uniform in [0, 1). *)
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1p-53
+
+(** Fork an independent stream; [split t i] with distinct [i] gives
+    decorrelated child generators. *)
+let split t i = create (Int64.to_int (next_int64 t) lxor (i * 0x9E3779B9))

@@ -1,0 +1,1 @@
+lib/workload/op_mix.ml: Format Oa_util Printf

@@ -1,0 +1,32 @@
+(** Key distributions for the stress workloads.
+
+    The paper draws keys uniformly from a range twice the initial size, so
+    that at steady state roughly half the range is present and inserts and
+    deletes succeed with similar probability.  A Zipfian option is provided
+    as an extension for skew studies (not part of the paper's figures). *)
+
+type t = Uniform of { range : int } | Zipf of { range : int; theta : float }
+
+let uniform ~range =
+  if range <= 0 then invalid_arg "Key_dist.uniform";
+  Uniform { range }
+
+let zipf ~range ~theta =
+  if range <= 0 || theta <= 0.0 || theta >= 1.0 then invalid_arg "Key_dist.zipf";
+  Zipf { range; theta }
+
+let range = function Uniform { range } | Zipf { range; _ } -> range
+
+(* Approximate Zipf sampling via the power-of-uniform method; adequate for
+   skew experiments without per-sample harmonic sums. *)
+let draw t rng =
+  match t with
+  | Uniform { range } -> 1 + Oa_util.Splitmix.below rng range
+  | Zipf { range; theta } ->
+      let u = Oa_util.Splitmix.float rng in
+      let x = Float.pow u (1.0 /. (1.0 -. theta)) in
+      1 + int_of_float (x *. float_of_int (range - 1))
+
+let to_string = function
+  | Uniform { range } -> Printf.sprintf "uniform(1..%d)" range
+  | Zipf { range; theta } -> Printf.sprintf "zipf(1..%d, %.2f)" range theta

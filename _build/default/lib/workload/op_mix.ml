@@ -1,0 +1,38 @@
+(** Operation mixes of the paper's evaluation.
+
+    The paper's default workload is 80% read-only operations with the
+    remaining updates split evenly between inserts and deletes (following
+    Alistarh et al.); Figures 7 and 8 use 40% and 2/3 mutation rates. *)
+
+type t = { read_pct : int; insert_pct : int; delete_pct : int }
+
+let v ~read_pct ~insert_pct ~delete_pct =
+  if read_pct + insert_pct + delete_pct <> 100 then
+    invalid_arg "Op_mix.v: percentages must sum to 100";
+  { read_pct; insert_pct; delete_pct }
+
+(** 80% reads, 10% inserts, 10% deletes — Figures 1-6. *)
+let read_mostly = { read_pct = 80; insert_pct = 10; delete_pct = 10 }
+
+(** 60% reads, 40% mutation — Figure 7. *)
+let mutation_40 = { read_pct = 60; insert_pct = 20; delete_pct = 20 }
+
+(** 1/3 reads, 2/3 mutation — Figure 8. *)
+let mutation_two_thirds = { read_pct = 34; insert_pct = 33; delete_pct = 33 }
+
+type op = Contains | Insert | Delete
+
+(** Draw the next operation. *)
+let draw t rng =
+  let r = Oa_util.Splitmix.below rng 100 in
+  if r < t.read_pct then Contains
+  else if r < t.read_pct + t.insert_pct then Insert
+  else Delete
+
+(** Fraction of operations that are inserts, used to size arenas. *)
+let insert_fraction t = float_of_int t.insert_pct /. 100.0
+
+let to_string t =
+  Printf.sprintf "%d/%d/%d" t.read_pct t.insert_pct t.delete_pct
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

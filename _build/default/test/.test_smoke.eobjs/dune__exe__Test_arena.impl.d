@@ -1,0 +1,1 @@
+test/test_arena.ml: Alcotest Array List Oa_mem Oa_runtime Oa_simrt

@@ -1,0 +1,1 @@
+test/test_backend_equivalence.ml: Alcotest List Oa_core Oa_runtime Oa_simrt Oa_smr Oa_structures Oa_util Printf

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest List Oa_core Oa_harness Oa_simrt Oa_smr Oa_workload

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Fun List Oa_harness Oa_smr Unix

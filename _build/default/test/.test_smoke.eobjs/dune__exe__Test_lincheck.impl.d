@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Array Format Int List Oa_core Oa_harness Oa_runtime Oa_simrt Oa_smr Oa_structures Oa_util QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_ms_queue.ml: Alcotest Array List Oa_core Oa_mem Oa_runtime Oa_simrt Oa_smr Oa_structures Oa_util Printf

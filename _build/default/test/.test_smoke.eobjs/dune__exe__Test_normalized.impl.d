@@ -1,0 +1,1 @@
+test/test_normalized.ml: Alcotest Array Oa_core Oa_mem Oa_runtime Oa_simrt Oa_smr

@@ -1,0 +1,1 @@
+test/test_oa.ml: Alcotest Array Hashtbl List Oa_core Oa_mem Oa_runtime Oa_simrt

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array List Oa_core Oa_runtime Oa_simrt

@@ -1,0 +1,1 @@
+test/test_ptr.ml: Alcotest Format Hashtbl List Oa_mem QCheck QCheck_alcotest

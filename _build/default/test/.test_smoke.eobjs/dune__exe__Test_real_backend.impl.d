@@ -1,0 +1,1 @@
+test/test_real_backend.ml: Alcotest Array Oa_runtime Printf

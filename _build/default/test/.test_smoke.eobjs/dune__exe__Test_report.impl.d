@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Buffer Filename Format Fun List Oa_harness String Sys Unix

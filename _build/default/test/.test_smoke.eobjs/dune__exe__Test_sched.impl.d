@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Buffer List Oa_simrt Printf

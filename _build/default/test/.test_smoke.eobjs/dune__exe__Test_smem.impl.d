@@ -1,0 +1,1 @@
+test/test_smem.ml: Alcotest Array List Oa_simrt

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Array List Oa_core Oa_runtime Oa_simrt Oa_smr Oa_structures Printf

@@ -1,0 +1,1 @@
+test/test_splitmix.ml: Alcotest Array List Oa_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stale_read.ml: Alcotest Hashtbl List Oa_core Oa_mem Oa_runtime Oa_simrt Oa_structures

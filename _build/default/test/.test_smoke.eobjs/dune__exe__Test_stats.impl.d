@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest List Oa_harness QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_structure_internals.ml: Alcotest Array Hashtbl Oa_core Oa_mem Oa_runtime Oa_simrt Oa_structures Printf

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Int List Oa_core Oa_mem Oa_runtime Oa_simrt Oa_smr Oa_structures Printf QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Hashtbl List Oa_util Oa_workload QCheck QCheck_alcotest

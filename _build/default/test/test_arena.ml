@@ -1,0 +1,152 @@
+(* Tests for the node arena over both backends. *)
+
+module Ptr = Oa_mem.Ptr
+module CM = Oa_simrt.Cost_model
+
+let with_sim f =
+  let r = Oa_runtime.Sim_backend.make ~max_threads:4 CM.amd_opteron in
+  f r
+
+let with_real f = f (Oa_runtime.Real_backend.make ())
+
+let test_field_addressing r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create ~capacity:16 ~n_fields:3 in
+  Alcotest.(check int) "capacity" 16 (A.capacity a);
+  Alcotest.(check int) "n_fields" 3 (A.n_fields a);
+  (* distinct (node, field) slots are independent *)
+  for i = 0 to 15 do
+    for f = 0 to 2 do
+      A.write a (Ptr.of_index i) f ((100 * i) + f)
+    done
+  done;
+  for i = 0 to 15 do
+    for f = 0 to 2 do
+      Alcotest.(check int) "slot value" ((100 * i) + f)
+        (A.read a (Ptr.of_index i) f)
+    done
+  done
+
+let test_cas_field r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create ~capacity:4 ~n_fields:2 in
+  let p = Ptr.of_index 2 in
+  A.write a p 1 5;
+  Alcotest.(check bool) "cas ok" true (A.cas a p 1 ~expected:5 6);
+  Alcotest.(check bool) "cas stale" false (A.cas a p 1 ~expected:5 7);
+  Alcotest.(check int) "cas result" 6 (A.read a p 1)
+
+let test_bump_range r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create ~capacity:10 ~n_fields:1 in
+  (match A.bump_range a 4 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "first range should start at 0");
+  (match A.bump_range a 4 with
+  | Some 4 -> ()
+  | _ -> Alcotest.fail "second range should start at 4");
+  (match A.bump_range a 4 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "over-capacity range should fail");
+  (* leftover smaller grabs may still fail once the counter overshot *)
+  Alcotest.(check bool) "bump_used within capacity" true (A.bump_used a <= 10)
+
+let test_bump_exhaustion_is_sticky r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create ~capacity:4 ~n_fields:1 in
+  ignore (A.bump_range a 4);
+  Alcotest.(check bool) "exhausted" true (A.bump_range a 1 = None);
+  Alcotest.(check bool) "still exhausted" true (A.bump_range a 1 = None)
+
+let test_zero_node r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create ~capacity:4 ~n_fields:3 in
+  let p = Ptr.of_index 1 in
+  for f = 0 to 2 do
+    A.write a p f 99
+  done;
+  A.zero_node a p;
+  for f = 0 to 2 do
+    Alcotest.(check int) "zeroed" 0 (A.read a p f)
+  done
+
+let test_stale_read_never_faults r () =
+  (* Assumption 3.1 by construction: a "dangling" pointer read returns the
+     new owner's data instead of faulting. *)
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create ~capacity:4 ~n_fields:1 in
+  let p = Ptr.of_index 0 in
+  A.write a p 0 111;
+  let dangling = p in
+  (* "reclaim" and reuse node 0 for something else *)
+  A.zero_node a p;
+  A.write a p 0 222;
+  Alcotest.(check int) "stale read sees new owner's value" 222
+    (A.read a dangling 0)
+
+let test_invalid_args r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Arena.create")
+    (fun () -> ignore (A.create ~capacity:0 ~n_fields:1));
+  Alcotest.check_raises "zero fields" (Invalid_argument "Arena.create")
+    (fun () -> ignore (A.create ~capacity:1 ~n_fields:0))
+
+let test_concurrent_bump_disjoint () =
+  (* threads bump-allocating concurrently receive disjoint ranges *)
+  let r = Oa_runtime.Sim_backend.make ~max_threads:4 CM.amd_opteron in
+  let module R = (val r) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create ~capacity:1000 ~n_fields:1 in
+  let grabbed = Array.make 4 [] in
+  R.par_run ~n:4 (fun tid ->
+      let rec go () =
+        match A.bump_range a 7 with
+        | Some first ->
+            grabbed.(tid) <- first :: grabbed.(tid);
+            go ()
+        | None -> ()
+      in
+      go ());
+  let all = Array.to_list grabbed |> List.concat |> List.sort compare in
+  let rec disjoint = function
+    | a :: (b :: _ as rest) ->
+        if b - a < 7 then Alcotest.fail "overlapping ranges" else disjoint rest
+    | _ -> ()
+  in
+  disjoint all;
+  Alcotest.(check bool) "most of arena used" true (List.length all >= 140)
+
+let both name f =
+  [
+    Alcotest.test_case (name ^ " (sim)") `Quick (fun () -> with_sim (fun r -> f r ()));
+    Alcotest.test_case (name ^ " (real)") `Quick (fun () ->
+        with_real (fun r -> f r ()));
+  ]
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "unit",
+        List.concat
+          [
+            both "field addressing" test_field_addressing;
+            both "cas field" test_cas_field;
+            both "bump range" test_bump_range;
+            both "bump exhaustion sticky" test_bump_exhaustion_is_sticky;
+            both "zero node" test_zero_node;
+            both "stale read never faults" test_stale_read_never_faults;
+            both "invalid args" test_invalid_args;
+          ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "disjoint bump ranges" `Quick
+            test_concurrent_bump_disjoint;
+        ] );
+    ]

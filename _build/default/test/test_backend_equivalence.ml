@@ -1,0 +1,122 @@
+(* Backend equivalence: the same sequential operation script must produce
+   identical results and final contents on the simulated and the real
+   backend, for every structure under every scheme.  (Concurrent runs
+   cannot be compared pointwise — interleavings differ — but sequential
+   ones must agree exactly; this pins the two backends to one semantics.) *)
+
+module I = Oa_core.Smr_intf
+module CM = Oa_simrt.Cost_model
+module SM = Oa_util.Splitmix
+
+let cfg =
+  {
+    I.default_config with
+    I.chunk_size = 4;
+    retire_threshold = 16;
+    epoch_threshold = 8;
+    anchor_interval = 32;
+  }
+
+type script_op = I' of int | D of int | C of int
+
+let script seed n =
+  let rng = SM.create seed in
+  List.init n (fun _ ->
+      let k = 1 + SM.below rng 30 in
+      match SM.below rng 3 with 0 -> I' k | 1 -> D k | _ -> C k)
+
+(* Run the script on a given backend; returns (results, final contents). *)
+let run_list (r : (module Oa_runtime.Runtime_intf.S)) scheme ops =
+  let module R = (val r) in
+  let module Sch = Oa_smr.Schemes.Make (R) in
+  let module S = (val Sch.pack scheme) in
+  let module L = Oa_structures.Linked_list.Make (S) in
+  let t = L.create ~capacity:2048 cfg in
+  let results = ref [] in
+  R.par_run ~n:1 (fun _ ->
+      let ctx = L.register t in
+      List.iter
+        (fun op ->
+          let r =
+            match op with
+            | I' k -> L.insert ctx k
+            | D k -> L.delete ctx k
+            | C k -> L.contains ctx k
+          in
+          results := r :: !results)
+        ops);
+  (List.rev !results, L.to_list t)
+
+let run_skip (r : (module Oa_runtime.Runtime_intf.S)) scheme ops =
+  let module R = (val r) in
+  let module Sch = Oa_smr.Schemes.Make (R) in
+  let module S = (val Sch.pack scheme) in
+  let module Sl = Oa_structures.Skip_list.Make (S) in
+  let skip_cfg =
+    { cfg with I.hp_slots = Sl.hp_slots_needed; max_cas = Sl.max_cas_needed }
+  in
+  let t = Sl.create ~capacity:2048 skip_cfg in
+  let results = ref [] in
+  R.par_run ~n:1 (fun _ ->
+      let ctx = Sl.register ~seed:99 t in
+      List.iter
+        (fun op ->
+          let r =
+            match op with
+            | I' k -> Sl.insert ctx k
+            | D k -> Sl.delete ctx k
+            | C k -> Sl.contains ctx k
+          in
+          results := r :: !results)
+        ops);
+  (List.rev !results, Sl.to_list t)
+
+let run_queue (r : (module Oa_runtime.Runtime_intf.S)) scheme ops =
+  let module R = (val r) in
+  let module Sch = Oa_smr.Schemes.Make (R) in
+  let module S = (val Sch.pack scheme) in
+  let module Q = Oa_structures.Ms_queue.Make (S) in
+  let t = Q.create ~capacity:2048 { cfg with I.max_cas = 2 } in
+  let results = ref [] in
+  R.par_run ~n:1 (fun _ ->
+      let ctx = Q.register t in
+      List.iter
+        (fun op ->
+          let r =
+            match op with
+            | I' k ->
+                Q.enqueue ctx k;
+                true
+            | D _ -> Q.dequeue ctx <> None
+            | C _ -> Q.dequeue ctx <> None
+          in
+          results := r :: !results)
+        ops);
+  (List.rev !results, Q.to_list t)
+
+let equiv name runner scheme () =
+  let ops = script 42 300 in
+  let sim =
+    runner (Oa_runtime.Sim_backend.make ~max_threads:2 CM.amd_opteron) scheme ops
+  in
+  let real = runner (Oa_runtime.Real_backend.make ()) scheme ops in
+  if sim <> real then
+    Alcotest.failf "%s/%s: sim and real backends disagree" name
+      (Oa_smr.Schemes.id_name scheme)
+
+let cases name runner =
+  List.map
+    (fun s ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (Oa_smr.Schemes.id_name s))
+        `Quick
+        (equiv name runner s))
+    Oa_smr.Schemes.all_ids
+
+let () =
+  Alcotest.run "backend_equivalence"
+    [
+      ("linked list", cases "list" run_list);
+      ("skip list", cases "skip" run_skip);
+      ("queue", cases "queue" run_queue);
+    ]

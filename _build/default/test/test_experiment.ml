@@ -1,0 +1,167 @@
+(* Tests for the experiment harness: sizing rules, end-to-end runs for
+   every structure x scheme, determinism, and the expected performance
+   ordering of the schemes. *)
+
+module E = Oa_harness.Experiment
+module CM = Oa_simrt.Cost_model
+module I = Oa_core.Smr_intf
+module Schemes = Oa_smr.Schemes
+
+let small_spec =
+  {
+    E.default_spec with
+    E.prefill = 200;
+    threads = 4;
+    total_ops = 8_000;
+    delta = 2_000;
+    chunk_size = 8;
+    backend = E.Sim { cost_model = CM.amd_opteron; quantum = 64 };
+  }
+
+let test_delta_floor () =
+  Alcotest.(check int) "floor formula"
+    (((4 + 1) * 3 * 8) + 256)
+    (E.delta_floor ~threads:4 ~chunk_size:8);
+  let spec = { small_spec with E.delta = 1 } in
+  Alcotest.(check int) "effective delta bumped to floor"
+    (E.delta_floor ~threads:4 ~chunk_size:8)
+    (E.effective_delta spec)
+
+let test_norecl_capacity_covers_inserts () =
+  let spec =
+    { small_spec with E.scheme = Schemes.No_reclamation; total_ops = 50_000 }
+  in
+  let cap = E.arena_capacity spec in
+  (* must cover prefill + all possible inserts (10% of ops) + slack *)
+  Alcotest.(check bool) "capacity covers inserts" true (cap >= 200 + 5_000)
+
+let test_all_points_run () =
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun scheme ->
+          let spec = { small_spec with E.structure; scheme } in
+          let r = E.run spec in
+          if r.E.throughput <= 0.0 then
+            Alcotest.failf "%s/%s: non-positive throughput"
+              (E.structure_name structure)
+              (Schemes.id_name scheme);
+          (* steady state keeps the size near the prefill *)
+          if r.E.final_size < 100 || r.E.final_size > 320 then
+            Alcotest.failf "%s/%s: size drifted to %d"
+              (E.structure_name structure)
+              (Schemes.id_name scheme) r.E.final_size)
+        Schemes.all_ids)
+    [ E.Linked_list; E.Hash_table; E.Skip_list ]
+
+let test_deterministic_given_seed () =
+  let spec = { small_spec with E.structure = E.Hash_table } in
+  let a = E.run spec and b = E.run spec in
+  Alcotest.(check bool) "same throughput" true
+    (a.E.throughput = b.E.throughput);
+  Alcotest.(check int) "same allocs" a.E.smr_stats.I.allocs
+    b.E.smr_stats.I.allocs
+
+let test_seed_changes_run () =
+  let spec = { small_spec with E.structure = E.Hash_table } in
+  let a = E.run spec and b = E.run { spec with E.seed = spec.E.seed + 1 } in
+  Alcotest.(check bool) "different seed, different measurement" true
+    (a.E.throughput <> b.E.throughput)
+
+let test_scheme_ordering_on_list () =
+  (* the paper's headline: on the 5K list, NoRecl ~ EBR ~ OA >> HP *)
+  let spec scheme =
+    {
+      small_spec with
+      E.structure = E.Linked_list;
+      prefill = 1_000;
+      total_ops = 1_500;
+      scheme;
+    }
+  in
+  let thr s = (E.run (spec s)).E.throughput in
+  let norecl = thr Schemes.No_reclamation in
+  let oa = thr Schemes.Optimistic_access in
+  let hp = thr Schemes.Hazard_pointers in
+  Alcotest.(check bool) "OA within 15% of NoRecl" true
+    (oa >= 0.85 *. norecl);
+  Alcotest.(check bool) "HP at least 2x slower" true (hp <= 0.5 *. norecl)
+
+let test_run_repeated_distinct_seeds () =
+  let results =
+    E.run_repeated ~repeats:3 { small_spec with E.structure = E.Hash_table }
+  in
+  Alcotest.(check int) "three runs" 3 (List.length results);
+  let throughputs = List.map (fun r -> r.E.throughput) results in
+  Alcotest.(check bool) "runs differ" true
+    (List.sort_uniq compare throughputs |> List.length > 1)
+
+let test_real_backend_point () =
+  let spec =
+    {
+      small_spec with
+      E.structure = E.Hash_table;
+      threads = 2;
+      total_ops = 20_000;
+      backend = E.Real;
+    }
+  in
+  let r = E.run spec in
+  Alcotest.(check bool) "real backend measures time" true (r.E.elapsed > 0.0);
+  Alcotest.(check bool) "real backend throughput" true (r.E.throughput > 0.0)
+
+let test_zipf_workload () =
+  (* skewed keys: the run must still be valid, and with heavy skew the
+     steady-state size drops well below the prefill because the popular
+     keys churn while the tail is never re-inserted *)
+  let spec =
+    {
+      small_spec with
+      E.structure = E.Hash_table;
+      key_theta = Some 0.9;
+      total_ops = 30_000;
+    }
+  in
+  let r = E.run spec in
+  Alcotest.(check bool) "valid run" true (r.E.throughput > 0.0);
+  Alcotest.(check bool) "size under skew below prefill" true
+    (r.E.final_size < 200)
+
+let test_mix_respected () =
+  (* a read-only mix performs no allocations beyond the prefill *)
+  let spec =
+    {
+      small_spec with
+      E.structure = E.Hash_table;
+      mix = Oa_workload.Op_mix.v ~read_pct:100 ~insert_pct:0 ~delete_pct:0;
+    }
+  in
+  let r = E.run spec in
+  Alcotest.(check int) "only prefill allocations" 200 r.E.smr_stats.I.allocs;
+  Alcotest.(check int) "size unchanged" 200 r.E.final_size
+
+let () =
+  Alcotest.run "experiment"
+    [
+      ( "sizing",
+        [
+          Alcotest.test_case "delta floor" `Quick test_delta_floor;
+          Alcotest.test_case "norecl capacity" `Quick
+            test_norecl_capacity_covers_inserts;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "all structure x scheme points" `Slow
+            test_all_points_run;
+          Alcotest.test_case "deterministic given seed" `Quick
+            test_deterministic_given_seed;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_run;
+          Alcotest.test_case "scheme ordering on list" `Quick
+            test_scheme_ordering_on_list;
+          Alcotest.test_case "repeated runs" `Quick
+            test_run_repeated_distinct_seeds;
+          Alcotest.test_case "real backend point" `Quick test_real_backend_point;
+          Alcotest.test_case "zipf workload" `Quick test_zipf_workload;
+          Alcotest.test_case "read-only mix" `Quick test_mix_respected;
+        ] );
+    ]

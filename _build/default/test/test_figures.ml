@@ -1,0 +1,73 @@
+(* Smoke tests of the figure runners at a tiny scale: every figure path
+   must execute, print a plausible table, and (for ratio figures) keep the
+   schemes in the paper's order on at least the headline panel. *)
+
+module F = Oa_harness.Figures
+module E = Oa_harness.Experiment
+module Schemes = Oa_smr.Schemes
+
+(* Figures treats empty env values as unset, so resetting to "" restores
+   the defaults (Unix.putenv cannot remove a variable). *)
+let with_tiny_env f =
+  let set n v = Unix.putenv n v in
+  set "OA_BENCH_SCALE" "0.02";
+  set "OA_BENCH_REPEATS" "1";
+  set "OA_BENCH_THREADS" "2,4";
+  Fun.protect f ~finally:(fun () ->
+      set "OA_BENCH_SCALE" "";
+      set "OA_BENCH_REPEATS" "";
+      set "OA_BENCH_THREADS" "")
+
+let test_fig1_data_shape () =
+  with_tiny_env (fun () ->
+      let data = F.run_fig1_data () in
+      Alcotest.(check int) "four panels" 4 (List.length data);
+      List.iter
+        (fun (name, rows) ->
+          Alcotest.(check int)
+            (name ^ ": two thread counts")
+            2 (List.length rows);
+          List.iter
+            (fun (_, base, per) ->
+              Alcotest.(check bool) "baseline positive" true
+                (base.F.mean_throughput > 0.0);
+              List.iter
+                (fun (_, p) ->
+                  Alcotest.(check bool) "scheme positive" true
+                    (p.F.mean_throughput > 0.0))
+                per)
+            rows)
+        data;
+      (* headline ordering on LinkedList5K: OA beats HP at every point *)
+      let _, rows = List.find (fun (n, _) -> n = "LinkedList5K") data in
+      List.iter
+        (fun (_, _, per) ->
+          let thr s =
+            (snd (List.find (fun (s', _) -> s' = s) per)).F.mean_throughput
+          in
+          Alcotest.(check bool) "OA > HP" true
+            (thr Schemes.Optimistic_access > thr Schemes.Hazard_pointers))
+        rows;
+      (* the print paths must not raise *)
+      ignore (F.fig1 ~data ());
+      F.fig4 ~data ())
+
+let test_fig2_fig3_run () =
+  with_tiny_env (fun () ->
+      F.fig2 ();
+      F.fig3 ())
+
+let test_ablations_run () = with_tiny_env (fun () -> F.ablations ())
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "figure 1/4 data and print" `Slow
+            test_fig1_data_shape;
+          Alcotest.test_case "figures 2 and 3" `Slow test_fig2_fig3_run;
+          Alcotest.test_case "ablations and extension" `Slow
+            test_ablations_run;
+        ] );
+    ]

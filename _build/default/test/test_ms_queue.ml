@@ -1,0 +1,143 @@
+(* Tests for the normalized Michael-Scott queue (extension structure). *)
+
+module Ptr = Oa_mem.Ptr
+module I = Oa_core.Smr_intf
+module CM = Oa_simrt.Cost_model
+module SM = Oa_util.Splitmix
+
+let cfg =
+  {
+    I.default_config with
+    I.chunk_size = 4;
+    max_cas = 2;
+    retire_threshold = 16;
+    epoch_threshold = 8;
+    anchor_interval = 64;
+  }
+
+(* ctx is hidden inside per-thread closures so the functor's types do not
+   escape the local module scope. *)
+type qops = { enq : int -> unit; deq : unit -> int option }
+
+let with_queue scheme f =
+  let r = Oa_runtime.Sim_backend.make ~seed:2 ~max_threads:4 CM.amd_opteron in
+  let module R = (val r) in
+  let module Sch = Oa_smr.Schemes.Make (R) in
+  let module S = (val Sch.pack scheme) in
+  let module Q = Oa_structures.Ms_queue.Make (S) in
+  let capacity =
+    if scheme = Oa_smr.Schemes.No_reclamation then 32_768 else 512
+  in
+  let t = Q.create ~capacity cfg in
+  let register () =
+    let ctx = Q.register t in
+    { enq = (fun v -> Q.enqueue ctx v); deq = (fun () -> Q.dequeue ctx) }
+  in
+  f
+    (module R : Oa_runtime.Runtime_intf.S)
+    register
+    (fun () -> Q.to_list t)
+    (fun () -> Q.validate t ~limit:100_000)
+    (fun () -> S.stats (Q.smr t))
+
+let test_fifo scheme () =
+  with_queue scheme
+    (fun (module R) register to_list validate _stats ->
+      R.par_run ~n:1 (fun _ ->
+          let q = register () in
+          Alcotest.(check (option int)) "empty" None (q.deq ());
+          for i = 1 to 50 do
+            q.enq i
+          done;
+          for i = 1 to 25 do
+            Alcotest.(check (option int)) "fifo order" (Some i) (q.deq ())
+          done;
+          for i = 51 to 60 do
+            q.enq i
+          done;
+          for i = 26 to 60 do
+            Alcotest.(check (option int)) "fifo across refills" (Some i)
+              (q.deq ())
+          done;
+          Alcotest.(check (option int)) "empty again" None (q.deq ()));
+      Alcotest.(check (list int)) "nothing left" [] (to_list ());
+      match validate () with Ok () -> () | Error e -> Alcotest.fail e)
+
+let test_churn_recycles scheme () =
+  with_queue scheme
+    (fun (module R) register _to_list validate stats ->
+      R.par_run ~n:1 (fun _ ->
+          let q = register () in
+          (* far more enqueues than the arena holds: dequeued dummies must
+             be recycled *)
+          for round = 1 to 50 do
+            for i = 1 to 40 do
+              q.enq ((round * 100) + i)
+            done;
+            for _ = 1 to 40 do
+              ignore (q.deq ())
+            done
+          done);
+      (match validate () with Ok () -> () | Error e -> Alcotest.fail e);
+      let st = stats () in
+      Alcotest.(check int) "allocs = enqueues + nothing extra" 2000
+        st.I.allocs;
+      if scheme <> Oa_smr.Schemes.No_reclamation then
+        Alcotest.(check bool) "recycling happened" true (st.I.recycled > 0))
+
+(* MPMC: producers tag values with their id and a sequence number.
+   Nothing may be lost or duplicated, and each consumer must see every
+   producer's sequence numbers in increasing order (FIFO per producer,
+   as observed through any single consumer). *)
+let test_mpmc scheme () =
+  with_queue scheme
+    (fun (module R) register _to_list validate _stats ->
+      let producers = 2 and consumers = 2 and per_producer = 300 in
+      let consumed = Array.make (producers * per_producer) 0 in
+      let order_violation = ref false in
+      R.par_run ~n:(producers + consumers) (fun tid ->
+          let q = register () in
+          if tid < producers then
+            for seq = 0 to per_producer - 1 do
+              q.enq ((tid * 100_000) + seq)
+            done
+          else begin
+            (* per-consumer view of each producer's last sequence *)
+            let my_last = Array.make producers (-1) in
+            let quiet = ref 0 in
+            while !quiet < 2000 do
+              match q.deq () with
+              | Some v ->
+                  quiet := 0;
+                  let p = v / 100_000 and seq = v mod 100_000 in
+                  if seq <= my_last.(p) then order_violation := true;
+                  my_last.(p) <- seq;
+                  consumed.((p * per_producer) + seq) <-
+                    consumed.((p * per_producer) + seq) + 1
+              | None -> incr quiet
+            done
+          end);
+      Alcotest.(check bool) "per-producer order preserved" false
+        !order_violation;
+      (* every value consumed exactly once *)
+      for i = 0 to (producers * per_producer) - 1 do
+        if consumed.(i) <> 1 then
+          Alcotest.failf "value %d consumed %d times" i consumed.(i)
+      done;
+      match validate () with Ok () -> () | Error e -> Alcotest.fail e)
+
+let scheme_cases name f =
+  List.map
+    (fun s ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (Oa_smr.Schemes.id_name s))
+        `Quick (f s))
+    Oa_smr.Schemes.all_ids
+
+let () =
+  Alcotest.run "ms_queue"
+    [
+      ("fifo", scheme_cases "fifo" test_fifo);
+      ("churn", scheme_cases "churn" test_churn_recycles);
+      ("mpmc", scheme_cases "mpmc" test_mpmc);
+    ]

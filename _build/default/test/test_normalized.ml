@@ -1,0 +1,163 @@
+(* Tests for the normalized-form driver: the fixed CAS executor and the
+   generator / wrap-up restart protocol. *)
+
+module Ptr = Oa_mem.Ptr
+module I = Oa_core.Smr_intf
+module CM = Oa_simrt.Cost_model
+
+(* Use the NoRecl scheme so no barrier interferes; Restart is injected by
+   the test generators themselves.  Everything runs outside par_run, where
+   sim-backend accesses are raw — the driver logic is backend-agnostic. *)
+module R = (val Oa_runtime.Sim_backend.make ~max_threads:2 CM.amd_opteron)
+module S = Oa_smr.No_recl.Make (R)
+module A = Oa_mem.Arena.Make (S.R)
+module N = Oa_core.Normalized.Make (S)
+
+let arena = A.create ~capacity:64 ~n_fields:2
+let smr = S.create arena I.default_config
+let ctx = S.register smr
+
+let desc target expected new_value =
+  {
+    S.obj = Ptr.of_index 0;
+    target;
+    expected;
+    new_value;
+    expected_is_ptr = false;
+    new_is_ptr = false;
+  }
+
+let test_executor_all_succeed () =
+  let c1 = R.cell 1 and c2 = R.cell 2 in
+  let failed = N.execute [| desc c1 1 10; desc c2 2 20 |] in
+  Alcotest.(check int) "none failed" N.none_failed failed;
+  Alcotest.(check int) "c1" 10 (R.read c1);
+  Alcotest.(check int) "c2" 20 (R.read c2)
+
+let test_executor_stops_at_failure () =
+  let c1 = R.cell 1 and c2 = R.cell 2 and c3 = R.cell 3 in
+  let failed = N.execute [| desc c1 1 10; desc c2 99 20; desc c3 3 30 |] in
+  Alcotest.(check int) "index of failed CAS" 1 failed;
+  Alcotest.(check int) "c1 executed" 10 (R.read c1);
+  Alcotest.(check int) "c2 untouched" 2 (R.read c2);
+  Alcotest.(check int) "c3 not attempted" 3 (R.read c3)
+
+let test_executor_empty () =
+  Alcotest.(check int) "empty list trivially succeeds" N.none_failed
+    (N.execute [||])
+
+let test_run_op_happy_path () =
+  let c = R.cell 0 in
+  let result =
+    N.run_op ctx
+      ~generator:(fun () -> ([| desc c 0 5 |], "aux"))
+      ~wrap_up:(fun ~descs ~failed aux ->
+        Alcotest.(check int) "one desc" 1 (Array.length descs);
+        Alcotest.(check int) "no failure" N.none_failed failed;
+        Alcotest.(check string) "aux passed through" "aux" aux;
+        N.Finish 42)
+  in
+  Alcotest.(check int) "result" 42 result;
+  Alcotest.(check int) "CAS applied" 5 (R.read c)
+
+let test_generator_restart () =
+  (* generator raises Restart twice before producing a CAS list *)
+  let c = R.cell 0 in
+  let attempts = ref 0 in
+  let result =
+    N.run_op ctx
+      ~generator:(fun () ->
+        incr attempts;
+        if !attempts < 3 then raise I.Restart;
+        ([| desc c 0 7 |], ()))
+      ~wrap_up:(fun ~descs:_ ~failed _ ->
+        if failed = N.none_failed then N.Finish true else N.Finish false)
+  in
+  Alcotest.(check bool) "completed" true result;
+  Alcotest.(check int) "generator ran three times" 3 !attempts;
+  Alcotest.(check int) "CAS applied once" 7 (R.read c)
+
+let test_wrap_up_restart () =
+  (* wrap-up raises Restart; it must be re-run without re-executing CASes *)
+  let c = R.cell 0 in
+  let wrap_attempts = ref 0 in
+  let result =
+    N.run_op ctx
+      ~generator:(fun () -> ([| desc c 0 1 |], ()))
+      ~wrap_up:(fun ~descs:_ ~failed:_ _ ->
+        incr wrap_attempts;
+        if !wrap_attempts < 2 then raise I.Restart;
+        N.Finish (R.read c))
+  in
+  Alcotest.(check int) "wrap-up re-ran" 2 !wrap_attempts;
+  Alcotest.(check int) "CAS executed exactly once" 1 result
+
+let test_restart_generator_outcome () =
+  (* a failed CAS reported by the wrap-up loops back to the generator with
+     fresh state, as in Listing 1's RESTART_GENERATOR *)
+  let c = R.cell 0 in
+  let gen_runs = ref 0 in
+  let result =
+    N.run_op ctx
+      ~generator:(fun () ->
+        incr gen_runs;
+        let current = R.read c in
+        ([| desc c current (current + 1) |], current))
+      ~wrap_up:(fun ~descs:_ ~failed seen ->
+        if failed <> N.none_failed then N.Restart_generator
+        else if seen < 2 then N.Restart_generator
+        else N.Finish seen)
+  in
+  Alcotest.(check int) "finished at third observation" 2 result;
+  Alcotest.(check int) "generator ran three times" 3 !gen_runs
+
+let test_aux_recomputed_on_restart () =
+  let side = ref [] in
+  let attempts = ref 0 in
+  let _ =
+    N.run_op ctx
+      ~generator:(fun () ->
+        incr attempts;
+        side := !attempts :: !side;
+        if !attempts < 2 then raise I.Restart;
+        ([||], !attempts))
+      ~wrap_up:(fun ~descs:_ ~failed:_ aux -> N.Finish aux)
+  in
+  Alcotest.(check (list int)) "generator effects observed per attempt" [ 2; 1 ]
+    !side
+
+let test_empty_desc_list_result () =
+  (* an empty CAS list is how "key absent" is reported (Listing 1) *)
+  let r =
+    N.run_op ctx
+      ~generator:(fun () -> ([||], false))
+      ~wrap_up:(fun ~descs ~failed aux ->
+        Alcotest.(check int) "empty list" 0 (Array.length descs);
+        Alcotest.(check int) "vacuous success" N.none_failed failed;
+        N.Finish aux)
+  in
+  Alcotest.(check bool) "reported absent" false r
+
+let () =
+  Alcotest.run "normalized"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "all succeed" `Quick test_executor_all_succeed;
+          Alcotest.test_case "stops at failure" `Quick
+            test_executor_stops_at_failure;
+          Alcotest.test_case "empty" `Quick test_executor_empty;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "happy path" `Quick test_run_op_happy_path;
+          Alcotest.test_case "generator restart" `Quick test_generator_restart;
+          Alcotest.test_case "wrap-up restart" `Quick test_wrap_up_restart;
+          Alcotest.test_case "restart-generator outcome" `Quick
+            test_restart_generator_outcome;
+          Alcotest.test_case "aux recomputed" `Quick
+            test_aux_recomputed_on_restart;
+          Alcotest.test_case "empty desc list" `Quick
+            test_empty_desc_list_result;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for the versioned chunk pools (Algorithms 4-6's substrate). *)
+
+module CM = Oa_simrt.Cost_model
+
+let with_runtime f =
+  let r = Oa_runtime.Sim_backend.make ~max_threads:8 CM.amd_opteron in
+  f r
+
+let test_chunk_ops () =
+  with_runtime (fun r ->
+      let module R = (val r : Oa_runtime.Runtime_intf.S) in
+      let module VP = Oa_core.Versioned_pool.Make (R) in
+      let c = VP.make_chunk 3 in
+      Alcotest.(check bool) "fresh empty" true (VP.chunk_empty c);
+      Alcotest.(check bool) "fresh not full" false (VP.chunk_full c);
+      VP.chunk_push c 10;
+      VP.chunk_push c 20;
+      VP.chunk_push c 30;
+      Alcotest.(check bool) "now full" true (VP.chunk_full c);
+      Alcotest.(check int) "lifo pop" 30 (VP.chunk_pop c);
+      Alcotest.(check int) "lifo pop 2" 20 (VP.chunk_pop c);
+      VP.chunk_push c 40;
+      Alcotest.(check int) "push after pop" 40 (VP.chunk_pop c);
+      Alcotest.(check int) "last" 10 (VP.chunk_pop c);
+      Alcotest.(check bool) "empty again" true (VP.chunk_empty c))
+
+let test_versioned_push_pop () =
+  with_runtime (fun r ->
+      let module R = (val r : Oa_runtime.Runtime_intf.S) in
+      let module VP = Oa_core.Versioned_pool.Make (R) in
+      let p = VP.create () in
+      Alcotest.(check int) "initial version" 0 (VP.version p);
+      let c = VP.make_chunk 2 in
+      VP.chunk_push c 1;
+      (match VP.push p ~ver:0 c with
+      | `Ok -> ()
+      | `Mismatch -> Alcotest.fail "push at matching version");
+      (match VP.push p ~ver:2 (VP.make_chunk 2) with
+      | `Mismatch -> ()
+      | `Ok -> Alcotest.fail "push at wrong version must mismatch");
+      (match VP.pop p ~ver:0 with
+      | `Ok c' -> Alcotest.(check int) "same chunk back" 1 (VP.chunk_pop c')
+      | _ -> Alcotest.fail "pop at matching version");
+      (match VP.pop p ~ver:0 with
+      | `Empty -> ()
+      | _ -> Alcotest.fail "pool now empty");
+      match VP.pop p ~ver:4 with
+      | `Mismatch -> ()
+      | _ -> Alcotest.fail "pop at wrong version must mismatch")
+
+let test_version_swap_protocol () =
+  (* the odd-version freeze of Algorithm 6 as used by Oa.catch_up *)
+  with_runtime (fun r ->
+      let module R = (val r : Oa_runtime.Runtime_intf.S) in
+      let module VP = Oa_core.Versioned_pool.Make (R) in
+      let p = VP.create () in
+      ignore (VP.push p ~ver:0 (VP.make_chunk 1));
+      let s = VP.snapshot p in
+      Alcotest.(check bool) "freeze CAS" true
+        (VP.cas_state p ~expected:s { s with VP.ver = 1 });
+      (match VP.push p ~ver:0 (VP.make_chunk 1) with
+      | `Mismatch -> ()
+      | `Ok -> Alcotest.fail "frozen pool must reject pushes");
+      let s1 = VP.snapshot p in
+      Alcotest.(check bool) "unfreeze CAS" true
+        (VP.cas_state p ~expected:s1 { VP.chunks = []; ver = 2 });
+      match VP.push p ~ver:2 (VP.make_chunk 1) with
+      | `Ok -> ()
+      | `Mismatch -> Alcotest.fail "push at new version")
+
+let test_stale_cas_state_fails () =
+  with_runtime (fun r ->
+      let module R = (val r : Oa_runtime.Runtime_intf.S) in
+      let module VP = Oa_core.Versioned_pool.Make (R) in
+      let p = VP.create () in
+      let old = VP.snapshot p in
+      ignore (VP.push p ~ver:0 (VP.make_chunk 1));
+      Alcotest.(check bool) "stale snapshot CAS fails" false
+        (VP.cas_state p ~expected:old { VP.chunks = []; ver = 2 }))
+
+let test_plain_pool () =
+  with_runtime (fun r ->
+      let module R = (val r : Oa_runtime.Runtime_intf.S) in
+      let module VP = Oa_core.Versioned_pool.Make (R) in
+      let p = VP.Plain.create () in
+      Alcotest.(check bool) "empty pop" true (VP.Plain.pop p = None);
+      let c1 = VP.make_chunk 1 and c2 = VP.make_chunk 1 in
+      VP.Plain.push p c1;
+      VP.Plain.push p c2;
+      (match VP.Plain.pop p with
+      | Some c -> Alcotest.(check bool) "lifo" true (c == c2)
+      | None -> Alcotest.fail "pop");
+      match VP.Plain.pop p with
+      | Some c -> Alcotest.(check bool) "second" true (c == c1)
+      | None -> Alcotest.fail "pop 2")
+
+(* Multiset preservation under concurrent push/pop at a fixed version. *)
+let test_concurrent_multiset () =
+  with_runtime (fun r ->
+      let module R = (val r : Oa_runtime.Runtime_intf.S) in
+      let module VP = Oa_core.Versioned_pool.Make (R) in
+      let p = VP.create () in
+      let n = 4 and per = 50 in
+      let popped = Array.make n [] in
+      R.par_run ~n (fun tid ->
+          for i = 1 to per do
+            let c = VP.make_chunk 1 in
+            VP.chunk_push c ((tid * 1000) + i);
+            (match VP.push p ~ver:0 c with
+            | `Ok -> ()
+            | `Mismatch -> Alcotest.fail "unexpected mismatch");
+            if i mod 2 = 0 then
+              match VP.pop p ~ver:0 with
+              | `Ok c -> popped.(tid) <- VP.chunk_pop c :: popped.(tid)
+              | `Empty -> ()
+              | `Mismatch -> Alcotest.fail "unexpected mismatch"
+          done);
+      (* drain the remainder *)
+      let rec drain acc =
+        match VP.pop p ~ver:0 with
+        | `Ok c -> drain (VP.chunk_pop c :: acc)
+        | `Empty -> acc
+        | `Mismatch -> Alcotest.fail "unexpected mismatch"
+      in
+      let remaining = drain [] in
+      let all =
+        List.sort compare
+          (remaining @ List.concat (Array.to_list popped))
+      in
+      let expected =
+        List.sort compare
+          (List.concat
+             (List.init n (fun tid ->
+                  List.init per (fun i -> (tid * 1000) + i + 1))))
+      in
+      Alcotest.(check (list int)) "no element lost or duplicated" expected all)
+
+(* Concurrent helping of a phase swap: many threads race to freeze and
+   swap; exactly one transfer happens and nothing is lost. *)
+let test_concurrent_swap_helping () =
+  with_runtime (fun r ->
+      let module R = (val r : Oa_runtime.Runtime_intf.S) in
+      let module VP = Oa_core.Versioned_pool.Make (R) in
+      let retired = VP.create () in
+      let processing = VP.create () in
+      (* 20 chunks holding 0..19 *)
+      for i = 0 to 19 do
+        let c = VP.make_chunk 1 in
+        VP.chunk_push c i;
+        ignore (VP.push retired ~ver:0 c)
+      done;
+      R.par_run ~n:4 (fun _ ->
+          (* each thread helps the freeze -> transfer -> reset protocol *)
+          let rs = VP.snapshot retired in
+          if rs.VP.ver = 0 then
+            ignore (VP.cas_state retired ~expected:rs { rs with VP.ver = 1 });
+          let rs1 = VP.snapshot retired in
+          if rs1.VP.ver = 1 then begin
+            let ps = VP.snapshot processing in
+            if ps.VP.ver = 0 then
+              ignore
+                (VP.cas_state processing ~expected:ps
+                   { VP.chunks = rs1.VP.chunks @ ps.VP.chunks; ver = 2 });
+            let rs2 = VP.snapshot retired in
+            if rs2.VP.ver = 1 then
+              ignore
+                (VP.cas_state retired ~expected:rs2 { VP.chunks = []; ver = 2 })
+          end);
+      let rs = VP.snapshot retired and ps = VP.snapshot processing in
+      Alcotest.(check int) "retired version" 2 rs.VP.ver;
+      Alcotest.(check int) "processing version" 2 ps.VP.ver;
+      Alcotest.(check int) "retired emptied" 0 (List.length rs.VP.chunks);
+      let contents =
+        List.map (fun c -> c.VP.slots.(0)) ps.VP.chunks |> List.sort compare
+      in
+      Alcotest.(check (list int)) "all chunks transferred exactly once"
+        (List.init 20 (fun i -> i))
+        contents)
+
+let () =
+  Alcotest.run "versioned_pool"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "chunk ops" `Quick test_chunk_ops;
+          Alcotest.test_case "versioned push/pop" `Quick test_versioned_push_pop;
+          Alcotest.test_case "swap protocol" `Quick test_version_swap_protocol;
+          Alcotest.test_case "stale cas fails" `Quick test_stale_cas_state_fails;
+          Alcotest.test_case "plain pool" `Quick test_plain_pool;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "multiset preservation" `Quick
+            test_concurrent_multiset;
+          Alcotest.test_case "swap helping" `Quick test_concurrent_swap_helping;
+        ] );
+    ]

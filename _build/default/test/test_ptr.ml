@@ -1,0 +1,83 @@
+(* Unit and property tests for tagged pointers. *)
+
+module Ptr = Oa_mem.Ptr
+
+let test_null () =
+  Alcotest.(check bool) "null is null" true (Ptr.is_null Ptr.null);
+  Alcotest.(check bool) "marked null is null" true
+    (Ptr.is_null (Ptr.mark Ptr.null));
+  Alcotest.(check bool) "null is unmarked" false (Ptr.is_marked Ptr.null);
+  Alcotest.(check int) "unmark of marked null" Ptr.null
+    (Ptr.unmark (Ptr.mark Ptr.null))
+
+let test_roundtrip () =
+  List.iter
+    (fun i ->
+      let p = Ptr.of_index i in
+      Alcotest.(check int) "index roundtrip" i (Ptr.index p);
+      Alcotest.(check bool) "fresh is unmarked" false (Ptr.is_marked p);
+      Alcotest.(check bool) "fresh is not null" false (Ptr.is_null p))
+    [ 0; 1; 2; 1000; 123_456_789 ]
+
+let test_marking () =
+  let p = Ptr.of_index 42 in
+  let m = Ptr.mark p in
+  Alcotest.(check bool) "marked" true (Ptr.is_marked m);
+  Alcotest.(check int) "index unchanged by mark" 42 (Ptr.index m);
+  Alcotest.(check int) "unmark restores" p (Ptr.unmark m);
+  Alcotest.(check int) "mark idempotent" m (Ptr.mark m);
+  Alcotest.(check int) "unmark idempotent" p (Ptr.unmark p)
+
+let test_distinctness () =
+  (* pointers to distinct nodes never collide, marked or not *)
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 1000 do
+    let p = Ptr.of_index i in
+    Alcotest.(check bool) "fresh" false (Hashtbl.mem seen p);
+    Hashtbl.replace seen p ();
+    let m = Ptr.mark p in
+    Alcotest.(check bool) "fresh marked" false (Hashtbl.mem seen m);
+    Hashtbl.replace seen m ()
+  done
+
+let test_pp () =
+  let s p = Format.asprintf "%a" Ptr.pp p in
+  Alcotest.(check string) "null" "null" (s Ptr.null);
+  Alcotest.(check string) "node" "#7" (s (Ptr.of_index 7));
+  Alcotest.(check string) "marked node" "#7!" (s (Ptr.mark (Ptr.of_index 7)))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_index/index roundtrip" ~count:1000
+    QCheck.(int_bound 1_000_000_000)
+    (fun i ->
+      let p = Ptr.of_index i in
+      Ptr.index p = i
+      && Ptr.index (Ptr.mark p) = i
+      && Ptr.unmark (Ptr.mark p) = p
+      && (not (Ptr.is_null p))
+      && not (Ptr.is_marked p))
+
+let prop_mark_is_bit =
+  QCheck.Test.make ~name:"mark toggles only the mark bit" ~count:1000
+    QCheck.(int_bound 1_000_000_000)
+    (fun i ->
+      let p = Ptr.of_index i in
+      Ptr.is_marked (Ptr.mark p)
+      && (not (Ptr.is_marked (Ptr.unmark (Ptr.mark p))))
+      && Ptr.equal (Ptr.unmark p) p)
+
+let () =
+  Alcotest.run "ptr"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "null" `Quick test_null;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "marking" `Quick test_marking;
+          Alcotest.test_case "distinctness" `Quick test_distinctness;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_mark_is_bit ]
+      );
+    ]

@@ -1,0 +1,122 @@
+(* Tests for the real (OCaml domains + atomics) backend. *)
+
+module Rb = Oa_runtime.Real_backend
+
+let test_cells () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let c = R.cell 5 in
+  Alcotest.(check int) "read" 5 (R.read c);
+  R.write c 6;
+  Alcotest.(check int) "write" 6 (R.read c);
+  Alcotest.(check bool) "cas ok" true (R.cas c 6 7);
+  Alcotest.(check bool) "cas stale" false (R.cas c 6 8);
+  Alcotest.(check int) "faa" 7 (R.faa c 3);
+  Alcotest.(check int) "after faa" 10 (R.read c);
+  Alcotest.(check int) "read_own" 10 (R.read_own c)
+
+let test_rcells () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let v1 = ref 1 and v2 = ref 2 in
+  let rc = R.rcell v1 in
+  Alcotest.(check bool) "physical eq read" true (R.rread rc == v1);
+  Alcotest.(check bool) "rcas ok" true (R.rcas rc v1 v2);
+  Alcotest.(check bool) "rcas stale" false (R.rcas rc v1 v2);
+  R.rwrite rc v1;
+  Alcotest.(check bool) "rwrite" true (R.rread rc == v1)
+
+let test_par_run_tids () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let seen = Array.make 4 (-1) in
+  R.par_run ~n:4 (fun tid -> seen.(tid) <- R.tid ());
+  Array.iteri
+    (fun i t -> Alcotest.(check int) (Printf.sprintf "tid %d" i) i t)
+    seen;
+  Alcotest.(check int) "outside run" (-1) (R.tid ());
+  Alcotest.(check int) "n_threads recorded" 4 (R.n_threads ())
+
+let test_par_run_concurrent_faa () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let c = R.cell 0 in
+  R.par_run ~n:4 (fun _ ->
+      for _ = 1 to 10_000 do
+        ignore (R.faa c 1)
+      done);
+  Alcotest.(check int) "no lost increments" 40_000 (R.read c)
+
+let test_par_run_concurrent_cas () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let c = R.cell 0 in
+  R.par_run ~n:4 (fun _ ->
+      for _ = 1 to 2_000 do
+        let rec go () =
+          let v = R.read c in
+          if not (R.cas c v (v + 1)) then go ()
+        in
+        go ()
+      done);
+  Alcotest.(check int) "cas loop correct" 8_000 (R.read c)
+
+let test_elapsed_positive () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  R.par_run ~n:2 (fun _ -> R.stall 1_000_000 (* ~1ms *));
+  Alcotest.(check bool) "elapsed measured" true (R.elapsed_seconds () > 0.0)
+
+let test_max_threads_enforced () =
+  let r = Rb.make ~max_threads:2 () in
+  let module R = (val r) in
+  Alcotest.check_raises "too many threads"
+    (Invalid_argument "Real_backend.par_run: too many threads") (fun () ->
+      R.par_run ~n:3 (fun _ -> ()))
+
+let test_work_and_op_work_are_noops () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  R.work 1_000_000;
+  R.op_work ();
+  Alcotest.(check pass) "no effect" () ()
+
+let test_node_cells_shape () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let cells = R.node_cells ~nodes:3 ~fields:2 in
+  Alcotest.(check int) "fields" 2 (Array.length cells);
+  Alcotest.(check int) "nodes" 3 (Array.length cells.(0));
+  R.write cells.(1).(2) 9;
+  Alcotest.(check int) "independent slots" 0 (R.read cells.(0).(2));
+  Alcotest.(check int) "written slot" 9 (R.read cells.(1).(2))
+
+let test_sequential_par_runs () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let c = R.cell 0 in
+  R.par_run ~n:2 (fun _ -> ignore (R.faa c 1));
+  R.par_run ~n:3 (fun _ -> ignore (R.faa c 1));
+  Alcotest.(check int) "both runs executed" 5 (R.read c)
+
+let () =
+  Alcotest.run "real_backend"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "int cells" `Quick test_cells;
+          Alcotest.test_case "boxed cells" `Quick test_rcells;
+          Alcotest.test_case "node cells" `Quick test_node_cells_shape;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "tids" `Quick test_par_run_tids;
+          Alcotest.test_case "concurrent faa" `Quick test_par_run_concurrent_faa;
+          Alcotest.test_case "concurrent cas" `Quick test_par_run_concurrent_cas;
+          Alcotest.test_case "elapsed" `Quick test_elapsed_positive;
+          Alcotest.test_case "max threads" `Quick test_max_threads_enforced;
+          Alcotest.test_case "work is free" `Quick
+            test_work_and_op_work_are_noops;
+          Alcotest.test_case "sequential runs" `Quick test_sequential_par_runs;
+        ] );
+    ]

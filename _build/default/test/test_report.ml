@@ -1,0 +1,89 @@
+(* Tests for the report/table/CSV plumbing used by the bench harness. *)
+
+module Report = Oa_harness.Report
+
+let render f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_table_layout () =
+  let s =
+    render (fun ppf ->
+        Report.table ~ppf ~row_header:"threads" ~rows:[ "1"; "64" ]
+          ~cols:[ "OA"; "HP" ]
+          ~cell:(fun r c -> r ^ c))
+  in
+  Alcotest.(check bool) "header" true (contains s "threads");
+  Alcotest.(check bool) "col names" true (contains s "OA" && contains s "HP");
+  Alcotest.(check bool) "cells" true (contains s "64HP" && contains s "1OA");
+  (* aligned: every line has the same length *)
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.length l > 0)
+  in
+  (match lines with
+  | first :: rest ->
+      List.iter
+        (fun l ->
+          Alcotest.(check int) "aligned width" (String.length first)
+            (String.length l))
+        rest
+  | [] -> Alcotest.fail "empty table");
+  Alcotest.(check int) "three lines" 3 (List.length lines)
+
+let test_section_headers () =
+  let s = render (fun ppf -> Report.section ppf "Figure 1") in
+  Alcotest.(check bool) "marked" true (contains s "=== Figure 1 ===")
+
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect f ~finally:(fun () ->
+      match old with Some v -> Unix.putenv name v | None -> Unix.putenv name "")
+
+let test_csv_disabled_by_default () =
+  with_env "OA_BENCH_CSV" "" (fun () ->
+      (* empty value: getenv returns "", treated as a dir name... ensure we
+         simply do not crash when unset by writing to a throwaway dir *)
+      Report.csv_append ~file:"x.csv" ~header:"a,b" [ "1,2" ])
+
+let test_csv_round_trip () =
+  let dir = Filename.temp_file "oacsv" "" in
+  Sys.remove dir;
+  with_env "OA_BENCH_CSV" dir (fun () ->
+      Report.csv_append ~file:"t.csv" ~header:"a,b" [ "1,2"; "3,4" ];
+      Report.csv_append ~file:"t.csv" ~header:"a,b" [ "5,6" ];
+      let ic = open_in (Filename.concat dir "t.csv") in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Alcotest.(check (list string)) "header once, rows appended"
+        [ "a,b"; "1,2"; "3,4"; "5,6" ]
+        (List.rev !lines))
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "layout" `Quick test_table_layout;
+          Alcotest.test_case "sections" `Quick test_section_headers;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "disabled by default" `Quick
+            test_csv_disabled_by_default;
+          Alcotest.test_case "round trip" `Quick test_csv_round_trip;
+        ] );
+    ]

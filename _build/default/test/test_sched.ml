@@ -1,0 +1,203 @@
+(* Tests for the discrete-event scheduler. *)
+
+module Sched = Oa_simrt.Sched
+module CM = Oa_simrt.Cost_model
+
+let cm = CM.amd_opteron
+let mk ?(seed = 0) ?(quantum = 0) ?max_cycles () =
+  Sched.create ~seed ~quantum ?max_cycles cm
+
+let test_runs_all_threads () =
+  let s = mk () in
+  let ran = Array.make 8 false in
+  Sched.run s ~n:8 (fun tid -> ran.(tid) <- true);
+  Array.iteri
+    (fun i b -> Alcotest.(check bool) (Printf.sprintf "thread %d ran" i) true b)
+    ran
+
+let test_charge_advances_clock () =
+  let s = mk () in
+  let observed = ref 0 in
+  Sched.run s ~n:1 (fun _ ->
+      let t0 = Sched.clock s in
+      Sched.charge s 123;
+      observed := Sched.clock s - t0);
+  Alcotest.(check int) "clock moved by charge" 123 !observed
+
+let test_min_clock_scheduling () =
+  (* A cheap thread interleaves many times against an expensive one: after
+     the expensive thread charges a large cost and yields, every cheap step
+     runs before it resumes. *)
+  let s = mk () in
+  let log = ref [] in
+  Sched.run s ~n:2 (fun tid ->
+      if tid = 0 then begin
+        Sched.charge s 1_000_000;
+        Sched.force_yield s;
+        log := `Expensive :: !log
+      end
+      else
+        for _ = 1 to 10 do
+          Sched.charge s 10;
+          Sched.force_yield s;
+          log := `Cheap :: !log
+        done);
+  (match !log with
+  | `Expensive :: rest ->
+      Alcotest.(check int) "all cheap steps first" 10 (List.length rest)
+  | _ -> Alcotest.fail "expensive thread finished before cheap ones")
+
+let test_makespan_is_max () =
+  let s = mk () in
+  Sched.run s ~n:3 (fun tid ->
+      Sched.charge s ((tid + 1) * 1000);
+      Sched.force_yield s);
+  (* makespan >= the largest per-thread cost, plus bounded start jitter *)
+  let span = Sched.makespan s in
+  Alcotest.(check bool) "span >= 3000" true (span >= 3000);
+  Alcotest.(check bool) "span <= 3000 + jitter" true (span <= 3030)
+
+let test_total_cycles () =
+  let s = mk () in
+  Sched.run s ~n:4 (fun _ ->
+      Sched.charge s 500;
+      Sched.force_yield s);
+  Alcotest.(check int) "total is sum" 2000 (Sched.total_cycles s)
+
+let test_stall_extends_clock_not_total () =
+  let s = mk () in
+  Sched.run s ~n:2 (fun tid ->
+      if tid = 0 then Sched.stall s 1_000_000 else Sched.charge s 10);
+  Alcotest.(check bool) "makespan includes stall" true
+    (Sched.makespan s >= 1_000_000);
+  Alcotest.(check bool) "total excludes stall" true
+    (Sched.total_cycles s < 1000)
+
+let test_determinism () =
+  let run seed =
+    let s = Sched.create ~seed cm in
+    let log = Buffer.create 64 in
+    Sched.run s ~n:4 (fun tid ->
+        for i = 1 to 5 do
+          Sched.charge s ((tid * 7) + i);
+          Sched.force_yield s;
+          Buffer.add_string log (string_of_int tid)
+        done);
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed, same schedule" (run 3) (run 3);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (run 3 <> run 4 || run 5 <> run 6)
+
+let test_quantum_batches_yields () =
+  (* with a large quantum, maybe_yield does not yield until the batch
+     exceeds it, so a counter incremented across maybe_yields is not
+     interleaved *)
+  let s = Sched.create ~quantum:1_000_000 cm in
+  let shared = ref 0 and race = ref false in
+  Sched.run s ~n:2 (fun _ ->
+      for _ = 1 to 100 do
+        let v = !shared in
+        Sched.charge s 5;
+        Sched.maybe_yield s;
+        if !shared <> v then race := true;
+        shared := v + 1
+      done);
+  Alcotest.(check bool) "no interleaving below quantum" false !race
+
+let test_zero_quantum_interleaves () =
+  let s = mk () in
+  let shared = ref 0 and race = ref false in
+  Sched.run s ~n:2 (fun _ ->
+      for _ = 1 to 100 do
+        let v = !shared in
+        Sched.charge s 5;
+        Sched.maybe_yield s;
+        if !shared <> v then race := true;
+        shared := v + 1
+      done);
+  Alcotest.(check bool) "interleaving at quantum 0" true !race
+
+let test_thread_failure () =
+  let s = mk () in
+  Alcotest.check_raises "propagates as Thread_failure"
+    (Sched.Thread_failure (0, Failure "boom"))
+    (fun () -> Sched.run s ~n:1 (fun _ -> failwith "boom"))
+
+let test_cycle_limit () =
+  let s = mk ~max_cycles:10_000 () in
+  (try
+     Sched.run s ~n:1 (fun _ ->
+         while true do
+           Sched.charge s 100;
+           Sched.force_yield s
+         done);
+     Alcotest.fail "expected cycle limit"
+   with Sched.Thread_failure (_, Sched.Cycle_limit_exceeded) -> ())
+
+let test_reuse_after_run () =
+  let s = mk () in
+  Sched.run s ~n:2 (fun _ -> Sched.charge s 100);
+  let first = Sched.total_cycles s in
+  Sched.run s ~n:3 (fun _ -> Sched.charge s 10);
+  Alcotest.(check int) "counters restart" 30 (Sched.total_cycles s);
+  Alcotest.(check int) "first run counted" 200 first
+
+let test_invalid_n () =
+  let s = mk () in
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Sched.run: n must be positive") (fun () ->
+      Sched.run s ~n:0 (fun _ -> ()))
+
+let test_tid_inside_run () =
+  let s = mk () in
+  let ok = ref true in
+  Sched.run s ~n:4 (fun tid -> if Sched.tid s <> tid then ok := false);
+  Alcotest.(check bool) "tid matches" true !ok;
+  Alcotest.(check int) "tid outside run" (-1) (Sched.tid s)
+
+let test_elapsed_core_cap () =
+  (* more threads than cores: elapsed reflects timesharing, i.e. at least
+     total/cores even though per-thread spans are shorter *)
+  let small_cm = { cm with CM.cores = 2 } in
+  let s = Sched.create small_cm in
+  Sched.run s ~n:8 (fun _ ->
+      Sched.charge s 1000;
+      Sched.force_yield s);
+  let seconds = Sched.elapsed_seconds s in
+  let floor = CM.cycles_to_seconds small_cm (8 * 1000 / 2) in
+  Alcotest.(check bool) "timeshared elapsed" true (seconds >= floor)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "scheduling",
+        [
+          Alcotest.test_case "runs all threads" `Quick test_runs_all_threads;
+          Alcotest.test_case "charge advances clock" `Quick
+            test_charge_advances_clock;
+          Alcotest.test_case "min-clock order" `Quick test_min_clock_scheduling;
+          Alcotest.test_case "makespan" `Quick test_makespan_is_max;
+          Alcotest.test_case "total cycles" `Quick test_total_cycles;
+          Alcotest.test_case "stall semantics" `Quick
+            test_stall_extends_clock_not_total;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "tid" `Quick test_tid_inside_run;
+          Alcotest.test_case "elapsed with core cap" `Quick
+            test_elapsed_core_cap;
+        ] );
+      ( "quantum",
+        [
+          Alcotest.test_case "quantum batches yields" `Quick
+            test_quantum_batches_yields;
+          Alcotest.test_case "quantum 0 interleaves" `Quick
+            test_zero_quantum_interleaves;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "thread failure" `Quick test_thread_failure;
+          Alcotest.test_case "cycle limit" `Quick test_cycle_limit;
+          Alcotest.test_case "reuse after run" `Quick test_reuse_after_run;
+          Alcotest.test_case "invalid n" `Quick test_invalid_n;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* End-to-end smoke tests: every scheme drives every structure on the
+   simulated backend, with single- and multi-threaded runs, and the final
+   structure must contain exactly the surviving keys. *)
+
+module Sim = Oa_runtime.Sim_backend
+module CM = Oa_simrt.Cost_model
+module I = Oa_core.Smr_intf
+
+let base_cfg =
+  {
+    I.default_config with
+    I.chunk_size = 8;
+    retire_threshold = 32;
+    epoch_threshold = 16;
+    anchor_interval = 50;
+  }
+
+(* Sequential fill + delete on the linked list; model-checked result. *)
+let list_sequential (id : Oa_smr.Schemes.id) () =
+  let r = Sim.make ~seed:7 ~max_threads:4 CM.amd_opteron in
+  let module R = (val r) in
+  let module Schemes = Oa_smr.Schemes.Make (R) in
+  let module S = (val Schemes.pack id) in
+  let module L = Oa_structures.Linked_list.Make (S) in
+  let cfg = base_cfg in
+  let t = L.create ~capacity:4096 cfg in
+  R.par_run ~n:1 (fun _ ->
+      let ctx = L.register t in
+      for k = 1 to 100 do
+        Alcotest.(check bool) "insert fresh" true (L.insert ctx k)
+      done;
+      for k = 1 to 100 do
+        Alcotest.(check bool) "insert dup" false (L.insert ctx k)
+      done;
+      for k = 1 to 100 do
+        Alcotest.(check bool) "contains" true (L.contains ctx k)
+      done;
+      for k = 1 to 100 do
+        if k mod 2 = 0 then
+          Alcotest.(check bool) "delete" true (L.delete ctx k)
+      done;
+      for k = 1 to 100 do
+        Alcotest.(check bool) "contains after delete" (k mod 2 = 1)
+          (L.contains ctx k)
+      done);
+  let expected = List.init 50 (fun i -> (2 * i) + 1) in
+  Alcotest.(check (list int)) "final keys" expected (L.to_list t);
+  match L.validate t ~limit:10_000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* Concurrent churn: each thread owns a key stripe, inserting and deleting
+   repeatedly; afterwards the structure holds exactly the keys each thread
+   left in. *)
+let list_concurrent (id : Oa_smr.Schemes.id) () =
+  let n = 4 and rounds = 120 and stripe = 32 in
+  let r = Sim.make ~seed:42 ~max_threads:n CM.amd_opteron in
+  let module R = (val r) in
+  let module Schemes = Oa_smr.Schemes.Make (R) in
+  let module S = (val Schemes.pack id) in
+  let module L = Oa_structures.Linked_list.Make (S) in
+  let t = L.create ~capacity:(16 * 1024) base_cfg in
+  (if id = Oa_smr.Schemes.Anchors then
+     let module A = (val Schemes.pack id) in
+     ignore A.name);
+  let leftover = Array.make n [] in
+  R.par_run ~n (fun tid ->
+      let ctx = L.register t in
+      let base = tid * stripe in
+      for round = 1 to rounds do
+        for k = base to base + stripe - 1 do
+          assert (L.insert ctx k)
+        done;
+        for k = base to base + stripe - 1 do
+          if (round + k) mod 3 <> 0 || round < rounds then
+            assert (L.delete ctx k)
+        done
+      done;
+      (* keys with (rounds + k) mod 3 = 0 were left in by the last round *)
+      let mine = ref [] in
+      for k = base + stripe - 1 downto base do
+        if (rounds + k) mod 3 = 0 then mine := k :: !mine
+      done;
+      leftover.(tid) <- !mine);
+  let expected = List.sort compare (Array.to_list leftover |> List.concat) in
+  Alcotest.(check (list int)) "final keys" expected (L.to_list t);
+  (match L.validate t ~limit:100_000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let st = S.stats (L.smr t) in
+  Alcotest.(check bool) "some allocs happened" true (st.I.allocs > 0)
+
+let hash_concurrent (id : Oa_smr.Schemes.id) () =
+  let n = 4 in
+  let r = Sim.make ~seed:3 ~max_threads:n CM.amd_opteron in
+  let module R = (val r) in
+  let module Schemes = Oa_smr.Schemes.Make (R) in
+  let module S = (val Schemes.pack id) in
+  let module H = Oa_structures.Hash_table.Make (S) in
+  let t = H.create ~capacity:(32 * 1024) ~expected_size:256 base_cfg in
+  let survivors = Array.make n [] in
+  R.par_run ~n (fun tid ->
+      let ctx = H.register t in
+      let base = tid * 1000 in
+      for round = 1 to 40 do
+        for k = base to base + 63 do
+          assert (H.insert t ctx k)
+        done;
+        for k = base to base + 63 do
+          if not (round = 40 && k mod 5 = 0) then assert (H.delete t ctx k)
+        done;
+        ignore round
+      done;
+      let mine = ref [] in
+      for k = base + 63 downto base do
+        if k mod 5 = 0 then mine := k :: !mine
+      done;
+      survivors.(tid) <- !mine);
+  let expected = List.sort compare (Array.to_list survivors |> List.concat) in
+  Alcotest.(check (list int)) "final keys" expected (H.to_list t);
+  match H.validate t ~limit:10_000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let skip_sequential (id : Oa_smr.Schemes.id) () =
+  let r = Sim.make ~seed:11 ~max_threads:2 CM.amd_opteron in
+  let module R = (val r) in
+  let module Schemes = Oa_smr.Schemes.Make (R) in
+  let module S = (val Schemes.pack id) in
+  let module Sl = Oa_structures.Skip_list.Make (S) in
+  let cfg =
+    {
+      base_cfg with
+      I.hp_slots = Sl.hp_slots_needed;
+      max_cas = Sl.max_cas_needed;
+    }
+  in
+  let t = Sl.create ~capacity:4096 cfg in
+  R.par_run ~n:1 (fun _ ->
+      let ctx = Sl.register ~seed:5 t in
+      for k = 1 to 200 do
+        Alcotest.(check bool) "insert fresh" true (Sl.insert ctx k)
+      done;
+      for k = 1 to 200 do
+        Alcotest.(check bool) "insert dup" false (Sl.insert ctx k)
+      done;
+      for k = 1 to 200 do
+        Alcotest.(check bool) "contains" true (Sl.contains ctx k)
+      done;
+      for k = 1 to 200 do
+        if k mod 3 = 0 then
+          Alcotest.(check bool) "delete" true (Sl.delete ctx k)
+      done;
+      for k = 1 to 200 do
+        Alcotest.(check bool) "contains after delete" (k mod 3 <> 0)
+          (Sl.contains ctx k)
+      done);
+  let expected = List.filter (fun k -> k mod 3 <> 0) (List.init 200 (fun i -> i + 1)) in
+  Alcotest.(check (list int)) "final keys" expected (Sl.to_list t);
+  match Sl.validate t ~limit:10_000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let skip_concurrent (id : Oa_smr.Schemes.id) () =
+  let n = 4 in
+  let r = Sim.make ~seed:9 ~max_threads:n CM.amd_opteron in
+  let module R = (val r) in
+  let module Schemes = Oa_smr.Schemes.Make (R) in
+  let module S = (val Schemes.pack id) in
+  let module Sl = Oa_structures.Skip_list.Make (S) in
+  let cfg =
+    {
+      base_cfg with
+      I.hp_slots = Sl.hp_slots_needed;
+      max_cas = Sl.max_cas_needed;
+    }
+  in
+  let t = Sl.create ~capacity:(32 * 1024) cfg in
+  let survivors = Array.make n [] in
+  R.par_run ~n (fun tid ->
+      let ctx = Sl.register ~seed:(100 + tid) t in
+      let base = tid * 500 in
+      for round = 1 to 30 do
+        for k = base to base + 49 do
+          assert (Sl.insert ctx k)
+        done;
+        for k = base to base + 49 do
+          if not (round = 30 && k mod 4 = 0) then assert (Sl.delete ctx k)
+        done
+      done;
+      let mine = ref [] in
+      for k = base + 49 downto base do
+        if k mod 4 = 0 then mine := k :: !mine
+      done;
+      survivors.(tid) <- !mine);
+  let expected = List.sort compare (Array.to_list survivors |> List.concat) in
+  Alcotest.(check (list int)) "final keys" expected (Sl.to_list t);
+  match Sl.validate t ~limit:100_000 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let for_all_schemes name f =
+  List.map
+    (fun id ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (Oa_smr.Schemes.id_name id))
+        `Quick (f id))
+    Oa_smr.Schemes.all_ids
+
+let () =
+  Alcotest.run "smoke"
+    [
+      ("list sequential", for_all_schemes "list seq" list_sequential);
+      ("list concurrent", for_all_schemes "list conc" list_concurrent);
+      ("hash concurrent", for_all_schemes "hash conc" hash_concurrent);
+      ("skip sequential", for_all_schemes "skip seq" skip_sequential);
+      ("skip concurrent", for_all_schemes "skip conc" skip_concurrent);
+    ]

@@ -1,0 +1,222 @@
+(* Model-based tests: every structure, under every scheme, against a
+   functional set model — sequential random op sequences via qcheck, plus
+   edge cases.  Concurrency is covered by test_smoke and test_concurrent. *)
+
+module Ptr = Oa_mem.Ptr
+module I = Oa_core.Smr_intf
+module CM = Oa_simrt.Cost_model
+module IntSet = Set.Make (Int)
+
+let cfg =
+  {
+    I.default_config with
+    I.chunk_size = 4;
+    retire_threshold = 16;
+    epoch_threshold = 8;
+    anchor_interval = 32;
+  }
+
+type op = Insert of int | Delete of int | Contains of int
+
+let op_gen ~key_range =
+  QCheck.Gen.(
+    map2
+      (fun c k ->
+        match c with 0 -> Insert k | 1 -> Delete k | _ -> Contains k)
+      (int_bound 2)
+      (int_range 1 key_range))
+
+let ops_arbitrary ~key_range =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Insert k -> Printf.sprintf "I%d" k
+             | Delete k -> Printf.sprintf "D%d" k
+             | Contains k -> Printf.sprintf "C%d" k)
+           ops))
+    QCheck.Gen.(list_size (int_bound 200) (op_gen ~key_range))
+
+(* Apply an op to the model and return the expected result. *)
+let model_apply set = function
+  | Insert k ->
+      if IntSet.mem k !set then false
+      else begin
+        set := IntSet.add k !set;
+        true
+      end
+  | Delete k ->
+      if IntSet.mem k !set then begin
+        set := IntSet.remove k !set;
+        true
+      end
+      else false
+  | Contains k -> IntSet.mem k !set
+
+(* A structure instance reduced to three closures plus finalizers. *)
+type instance = {
+  apply : op -> bool;
+  snapshot : unit -> int list;
+  check_invariants : unit -> (unit, string) result;
+}
+
+let make_list scheme () =
+  let r = Oa_runtime.Sim_backend.make ~max_threads:2 CM.amd_opteron in
+  let module R = (val r) in
+  let module Sch = Oa_smr.Schemes.Make (R) in
+  let module S = (val Sch.pack scheme) in
+  let module L = Oa_structures.Linked_list.Make (S) in
+  let t = L.create ~capacity:4096 cfg in
+  let ctx = L.register t in
+  {
+    apply =
+      (fun op ->
+        match op with
+        | Insert k -> L.insert ctx k
+        | Delete k -> L.delete ctx k
+        | Contains k -> L.contains ctx k);
+    snapshot = (fun () -> L.to_list t);
+    check_invariants = (fun () -> L.validate t ~limit:100_000);
+  }
+
+let make_hash scheme () =
+  let r = Oa_runtime.Sim_backend.make ~max_threads:2 CM.amd_opteron in
+  let module R = (val r) in
+  let module Sch = Oa_smr.Schemes.Make (R) in
+  let module S = (val Sch.pack scheme) in
+  let module H = Oa_structures.Hash_table.Make (S) in
+  let t = H.create ~capacity:4096 ~expected_size:64 cfg in
+  let ctx = H.register t in
+  {
+    apply =
+      (fun op ->
+        match op with
+        | Insert k -> H.insert t ctx k
+        | Delete k -> H.delete t ctx k
+        | Contains k -> H.contains t ctx k);
+    snapshot = (fun () -> H.to_list t);
+    check_invariants = (fun () -> H.validate t ~limit:100_000);
+  }
+
+let make_skip scheme () =
+  let r = Oa_runtime.Sim_backend.make ~max_threads:2 CM.amd_opteron in
+  let module R = (val r) in
+  let module Sch = Oa_smr.Schemes.Make (R) in
+  let module S = (val Sch.pack scheme) in
+  let module Sl = Oa_structures.Skip_list.Make (S) in
+  let skip_cfg =
+    { cfg with I.hp_slots = Sl.hp_slots_needed; max_cas = Sl.max_cas_needed }
+  in
+  let t = Sl.create ~capacity:4096 skip_cfg in
+  let ctx = Sl.register ~seed:17 t in
+  {
+    apply =
+      (fun op ->
+        match op with
+        | Insert k -> Sl.insert ctx k
+        | Delete k -> Sl.delete ctx k
+        | Contains k -> Sl.contains ctx k);
+    snapshot = (fun () -> Sl.to_list t);
+    check_invariants = (fun () -> Sl.validate t ~limit:100_000);
+  }
+
+let model_prop make ops =
+  let inst = make () in
+  let set = ref IntSet.empty in
+  List.for_all
+    (fun op ->
+      let expected = model_apply set op in
+      let got = inst.apply op in
+      expected = got)
+    ops
+  && inst.snapshot () = IntSet.elements !set
+  && inst.check_invariants () = Ok ()
+
+let prop_suite name make =
+  QCheck.Test.make ~name ~count:60 (ops_arbitrary ~key_range:40)
+    (model_prop make)
+
+(* Edge cases worth pinning beyond random sequences. *)
+let edge_cases make () =
+  let inst = make () in
+  Alcotest.(check bool) "delete on empty" false (inst.apply (Delete 5));
+  Alcotest.(check bool) "contains on empty" false (inst.apply (Contains 5));
+  Alcotest.(check bool) "insert" true (inst.apply (Insert 5));
+  Alcotest.(check bool) "reinsert" false (inst.apply (Insert 5));
+  Alcotest.(check bool) "delete" true (inst.apply (Delete 5));
+  Alcotest.(check bool) "delete again" false (inst.apply (Delete 5));
+  Alcotest.(check bool) "insert after delete" true (inst.apply (Insert 5));
+  (* boundary keys *)
+  Alcotest.(check bool) "large key" true (inst.apply (Insert (max_int / 4)));
+  Alcotest.(check bool) "small key" true (inst.apply (Insert 1));
+  Alcotest.(check bool) "ordering kept" true
+    (inst.snapshot () = [ 1; 5; max_int / 4 ]);
+  Alcotest.(check bool) "invariants" true (inst.check_invariants () = Ok ())
+
+let reinsert_cycles make () =
+  (* repeatedly insert and delete the same keys so nodes churn through
+     retirement and (for reclaiming schemes) recycling *)
+  let inst = make () in
+  for round = 1 to 50 do
+    for k = 1 to 20 do
+      if not (inst.apply (Insert k)) then
+        Alcotest.failf "round %d: insert %d failed" round k
+    done;
+    for k = 1 to 20 do
+      if not (inst.apply (Delete k)) then
+        Alcotest.failf "round %d: delete %d failed" round k
+    done
+  done;
+  Alcotest.(check (list int)) "empty at the end" [] (inst.snapshot ())
+
+let ascending_descending make () =
+  let inst = make () in
+  for k = 1 to 100 do
+    ignore (inst.apply (Insert k))
+  done;
+  for k = 100 downto 1 do
+    ignore (inst.apply (Insert (200 + k)))
+  done;
+  let expected = List.init 100 (fun i -> i + 1) @ List.init 100 (fun i -> 201 + i) in
+  Alcotest.(check (list int)) "sorted regardless of insertion order" expected
+    (inst.snapshot ())
+
+let all_schemes = Oa_smr.Schemes.all_ids
+
+let structure_tests name make =
+  let unit_tests =
+    List.concat_map
+      (fun scheme ->
+        let s = Oa_smr.Schemes.id_name scheme in
+        [
+          Alcotest.test_case (Printf.sprintf "edge cases (%s)" s) `Quick
+            (edge_cases (make scheme));
+          Alcotest.test_case (Printf.sprintf "reinsert cycles (%s)" s) `Quick
+            (reinsert_cycles (make scheme));
+        ])
+      all_schemes
+    @ [
+        Alcotest.test_case "insertion order irrelevant" `Quick
+          (ascending_descending (make Oa_smr.Schemes.Optimistic_access));
+      ]
+  in
+  let props =
+    List.map
+      (fun scheme ->
+        QCheck_alcotest.to_alcotest
+          (prop_suite
+             (Printf.sprintf "%s vs model (%s)" name
+                (Oa_smr.Schemes.id_name scheme))
+             (make scheme)))
+      all_schemes
+  in
+  (name, unit_tests @ props)
+
+let () =
+  Alcotest.run "structures"
+    [
+      structure_tests "linked list" make_list;
+      structure_tests "hash table" make_hash;
+      structure_tests "skip list" make_skip;
+    ]

@@ -1,0 +1,111 @@
+(* Tests for the trace ring buffer and its scheduler hook. *)
+
+module Trace = Oa_simrt.Trace
+module Sched = Oa_simrt.Sched
+module CM = Oa_simrt.Cost_model
+
+let test_record_and_read () =
+  let t = Trace.create ~capacity:8 () in
+  Trace.record t ~time:1 ~tid:0 "a";
+  Trace.record t ~time:2 ~tid:1 "b";
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  Alcotest.(check int) "no drops" 0 (Trace.dropped t);
+  match Trace.events t with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "order" "a" e1.Trace.label;
+      Alcotest.(check string) "order" "b" e2.Trace.label;
+      Alcotest.(check int) "time" 2 e2.Trace.time;
+      Alcotest.(check int) "tid" 1 e2.Trace.tid
+  | _ -> Alcotest.fail "expected two events"
+
+let test_ring_wraps () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record t ~time:i ~tid:0 (string_of_int i)
+  done;
+  Alcotest.(check int) "keeps capacity" 4 (Trace.length t);
+  Alcotest.(check int) "drops counted" 6 (Trace.dropped t);
+  Alcotest.(check (list string)) "keeps the newest, oldest first"
+    [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.label) (Trace.events t))
+
+let test_clear () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.record t ~time:1 ~tid:0 "x";
+  Trace.clear t;
+  Alcotest.(check int) "empty" 0 (Trace.length t);
+  Alcotest.(check (list string)) "no events" []
+    (List.map (fun e -> e.Trace.label) (Trace.events t))
+
+let test_invalid_capacity () =
+  Alcotest.check_raises "bad capacity" (Invalid_argument "Trace.create")
+    (fun () -> ignore (Trace.create ~capacity:0 ()))
+
+let test_switch_hook_records_interleaving () =
+  let s = Sched.create ~seed:1 CM.amd_opteron in
+  let t = Trace.create () in
+  Sched.set_switch_hook s (fun ~tid ~clock ->
+      Trace.record t ~time:clock ~tid "switch");
+  Sched.run s ~n:3 (fun _ ->
+      for _ = 1 to 5 do
+        Sched.charge s 10;
+        Sched.force_yield s
+      done);
+  (* three threads yielding five times each: plenty of switches, from more
+     than one thread, with non-decreasing switch times *)
+  let evs = Trace.events t in
+  Alcotest.(check bool) "several switches" true (List.length evs >= 3);
+  let tids = List.sort_uniq compare (List.map (fun e -> e.Trace.tid) evs) in
+  Alcotest.(check bool) "multiple threads involved" true (List.length tids >= 2);
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) ->
+        a.Trace.time <= b.Trace.time && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "switch clocks non-decreasing" true (nondecreasing evs)
+
+let test_trace_determinism () =
+  let run () =
+    let s = Sched.create ~seed:5 CM.amd_opteron in
+    let t = Trace.create () in
+    Sched.set_switch_hook s (fun ~tid ~clock ->
+        Trace.record t ~time:clock ~tid "s");
+    Sched.run s ~n:4 (fun tid ->
+        for i = 1 to 4 do
+          Sched.charge s ((tid * 3) + i);
+          Sched.force_yield s
+        done);
+    List.map (fun e -> (e.Trace.time, e.Trace.tid)) (Trace.events t)
+  in
+  Alcotest.(check bool) "identical traces for identical seeds" true
+    (run () = run ())
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp () =
+  let t = Trace.create ~capacity:2 () in
+  Trace.record t ~time:5 ~tid:1 "hello";
+  let s = Format.asprintf "%a" Trace.pp t in
+  Alcotest.(check bool) "mentions label" true (contains_substring s "hello")
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "record and read" `Quick test_record_and_read;
+          Alcotest.test_case "ring wraps" `Quick test_ring_wraps;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+        ] );
+      ( "scheduler hook",
+        [
+          Alcotest.test_case "records interleaving" `Quick
+            test_switch_hook_records_interleaving;
+          Alcotest.test_case "deterministic" `Quick test_trace_determinism;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,112 @@
+(* Tests for workload generation (operation mixes and key distributions). *)
+
+module SM = Oa_util.Splitmix
+module Op_mix = Oa_workload.Op_mix
+module Key_dist = Oa_workload.Key_dist
+
+let test_mix_validation () =
+  Alcotest.check_raises "must sum to 100"
+    (Invalid_argument "Op_mix.v: percentages must sum to 100") (fun () ->
+      ignore (Op_mix.v ~read_pct:50 ~insert_pct:20 ~delete_pct:20))
+
+let test_mix_presets () =
+  Alcotest.(check string) "read-mostly" "80/10/10"
+    (Op_mix.to_string Op_mix.read_mostly);
+  Alcotest.(check string) "40% mutation" "60/20/20"
+    (Op_mix.to_string Op_mix.mutation_40);
+  Alcotest.(check string) "2/3 mutation" "34/33/33"
+    (Op_mix.to_string Op_mix.mutation_two_thirds)
+
+let draw_frequencies mix n =
+  let rng = SM.create 77 in
+  let c = ref 0 and i = ref 0 and d = ref 0 in
+  for _ = 1 to n do
+    match Op_mix.draw mix rng with
+    | Op_mix.Contains -> incr c
+    | Op_mix.Insert -> incr i
+    | Op_mix.Delete -> incr d
+  done;
+  ( float_of_int !c /. float_of_int n,
+    float_of_int !i /. float_of_int n,
+    float_of_int !d /. float_of_int n )
+
+let close a b = abs_float (a -. b) < 0.02
+
+let test_draw_matches_mix () =
+  List.iter
+    (fun mix ->
+      let c, i, d = draw_frequencies mix 100_000 in
+      let ok =
+        close c (float_of_int mix.Op_mix.read_pct /. 100.)
+        && close i (float_of_int mix.Op_mix.insert_pct /. 100.)
+        && close d (float_of_int mix.Op_mix.delete_pct /. 100.)
+      in
+      if not ok then
+        Alcotest.failf "mix %s drawn as %.3f/%.3f/%.3f"
+          (Op_mix.to_string mix) c i d)
+    [ Op_mix.read_mostly; Op_mix.mutation_40; Op_mix.mutation_two_thirds ]
+
+let test_insert_fraction () =
+  Alcotest.(check (float 1e-9)) "read-mostly" 0.1
+    (Op_mix.insert_fraction Op_mix.read_mostly);
+  Alcotest.(check (float 1e-9)) "two-thirds" 0.33
+    (Op_mix.insert_fraction Op_mix.mutation_two_thirds)
+
+let test_uniform_range () =
+  let d = Key_dist.uniform ~range:100 in
+  Alcotest.(check int) "range" 100 (Key_dist.range d);
+  let rng = SM.create 5 in
+  let seen = Hashtbl.create 128 in
+  for _ = 1 to 20_000 do
+    let k = Key_dist.draw d rng in
+    if k < 1 || k > 100 then Alcotest.failf "key %d out of range" k;
+    Hashtbl.replace seen k ()
+  done;
+  Alcotest.(check int) "covers the range" 100 (Hashtbl.length seen)
+
+let test_zipf_range_and_skew () =
+  let d = Key_dist.zipf ~range:1000 ~theta:0.8 in
+  let rng = SM.create 13 in
+  let low = ref 0 and n = 50_000 in
+  for _ = 1 to n do
+    let k = Key_dist.draw d rng in
+    if k < 1 || k > 1000 then Alcotest.failf "key %d out of range" k;
+    if k <= 100 then incr low
+  done;
+  (* strong skew: the smallest 10% of keys draw far more than 10% *)
+  Alcotest.(check bool) "skewed towards small keys" true
+    (float_of_int !low /. float_of_int n > 0.3)
+
+let test_invalid_distributions () =
+  Alcotest.check_raises "bad uniform" (Invalid_argument "Key_dist.uniform")
+    (fun () -> ignore (Key_dist.uniform ~range:0));
+  Alcotest.check_raises "bad zipf theta" (Invalid_argument "Key_dist.zipf")
+    (fun () -> ignore (Key_dist.zipf ~range:10 ~theta:1.5))
+
+let prop_uniform_in_range =
+  QCheck.Test.make ~name:"uniform draws in range" ~count:300
+    QCheck.(pair (int_range 1 10_000) (int_bound 1_000_000))
+    (fun (range, seed) ->
+      let d = Key_dist.uniform ~range in
+      let rng = SM.create seed in
+      let k = Key_dist.draw d rng in
+      k >= 1 && k <= range)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "op mix",
+        [
+          Alcotest.test_case "validation" `Quick test_mix_validation;
+          Alcotest.test_case "presets" `Quick test_mix_presets;
+          Alcotest.test_case "draw frequencies" `Quick test_draw_matches_mix;
+          Alcotest.test_case "insert fraction" `Quick test_insert_fraction;
+        ] );
+      ( "key distribution",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_range;
+          Alcotest.test_case "zipf" `Quick test_zipf_range_and_skew;
+          Alcotest.test_case "invalid args" `Quick test_invalid_distributions;
+          QCheck_alcotest.to_alcotest prop_uniform_in_range;
+        ] );
+    ]
