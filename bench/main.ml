@@ -3,7 +3,8 @@
    microbenchmarks of the per-scheme barrier costs on the real backend.
 
    Environment knobs:
-     OA_BENCH_FIGURES  comma list from {1..8,micro} (default: all)
+     OA_BENCH_FIGURES  comma list from {1..8,ablations,metrics,micro}
+                       (default: all)
      OA_BENCH_SCALE    multiplier on operation counts (default 1.0)
      OA_BENCH_REPEATS  repetitions per point (default 1; the paper used 20)
      OA_BENCH_THREADS  comma list of thread counts (default 1,2,4,8,16,32,64)
@@ -18,9 +19,38 @@ let wanted =
   let spec =
     match Sys.getenv_opt "OA_BENCH_FIGURES" with
     | Some s -> String.split_on_char ',' s
-    | None -> [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8"; "ablations"; "micro" ]
+    | None ->
+        [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8"; "ablations"; "metrics";
+          "micro" ]
   in
   fun f -> List.mem f spec
+
+(* --- SMR telemetry demo: the same experiment with and without a sink --- *)
+
+let metrics_demo () =
+  Format.printf "@.=== SMR telemetry (Oa_obs) ===@.";
+  let spec =
+    {
+      E.default_spec with
+      E.structure = E.Linked_list;
+      prefill = 64;
+      mix = Oa_workload.Op_mix.v ~read_pct:50 ~insert_pct:25 ~delete_pct:25;
+      total_ops = 200_000;
+      delta = 2_200;
+      chunk_size = 64;
+    }
+  in
+  (* Disabled sink is the default everywhere: this run pays nothing for the
+     instrumentation (Sink.register returns None, the hot path is one
+     pattern match on an immutable option). *)
+  let plain = E.run spec in
+  let sink = Oa_obs.Sink.create () in
+  let instrumented = E.run ~sink spec in
+  Format.printf "throughput: %.3f Mops/s disabled, %.3f Mops/s enabled@."
+    (plain.E.throughput /. 1e6)
+    (instrumented.E.throughput /. 1e6);
+  Oa_harness.Report.metrics ~ppf:Format.std_formatter
+    (Oa_obs.Sink.snapshot sink)
 
 (* --- Bechamel microbenchmarks: real backend, single thread --- *)
 
@@ -114,5 +144,6 @@ let () =
   if wanted "7" then F.fig7 ();
   if wanted "8" then F.fig8 ();
   if wanted "ablations" then F.ablations ();
+  if wanted "metrics" then metrics_demo ();
   if wanted "micro" then micro ();
   Format.printf "@.done.@."

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Local CI entry point, mirrored by .github/workflows/ci.yml:
+#   build everything, run the test suite, and check formatting when
+#   ocamlformat is available (the formatting step is advisory on machines
+#   without it, so a bare opam switch can still run CI).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed)"
+fi
+
+echo "CI OK"

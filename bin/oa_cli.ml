@@ -103,8 +103,37 @@ let run_cmd =
       value & opt string "sim"
       & info [ "backend" ] ~doc:"Backend: sim (default), sim-xeon, or real.")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect SMR-internal telemetry (retire/reclaim volumes, phase \
+             flips, rollbacks, pool traffic; see docs/observability.md) and \
+             write the merged snapshot to $(docv); $(b,-) writes to stdout. \
+             With --repeats, counters accumulate over all repetitions. \
+             Telemetry is off — and free — when this flag is absent.")
+  in
+  let metrics_format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
+      & info [ "metrics-format" ] ~docv:"FMT"
+          ~doc:
+            "Snapshot rendering for --metrics: $(b,table) (aligned ASCII), \
+             $(b,csv), or $(b,json) (line-delimited).")
+  in
+  let trace_events =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-events" ] ~docv:"N"
+          ~doc:
+            "Sim backend only: with --metrics, also dump the last $(docv) \
+             scheduler context-switch events alongside the counters.")
+  in
   let run structure scheme threads prefill ops mix delta chunk seed zipf
-      repeats backend =
+      repeats backend metrics_file metrics_format trace_events =
     let backend =
       match backend with
       | "real" -> E.Real
@@ -126,7 +155,31 @@ let run_cmd =
         backend;
       }
     in
-    let results = E.run_repeated ~repeats spec in
+    let sink =
+      match metrics_file with
+      | None -> Oa_obs.Sink.disabled
+      | Some _ -> Oa_obs.Sink.create ()
+    in
+    let trace =
+      match (metrics_file, backend) with
+      | Some _, E.Sim _ when trace_events > 0 ->
+          Some (Oa_simrt.Trace.create ~capacity:trace_events ())
+      | _ -> None
+    in
+    (match trace with
+    | None -> ()
+    | Some tr ->
+        Oa_obs.Sink.attach_trace sink (fun () ->
+            ( List.map
+                (fun (e : Oa_simrt.Trace.event) ->
+                  {
+                    Oa_obs.Snapshot.time = e.Oa_simrt.Trace.time;
+                    tid = e.Oa_simrt.Trace.tid;
+                    label = e.Oa_simrt.Trace.label;
+                  })
+                (Oa_simrt.Trace.events tr),
+              Oa_simrt.Trace.dropped tr )));
+    let results = E.run_repeated ~repeats ~sink ?trace spec in
     let throughputs = List.map (fun r -> r.E.throughput) results in
     let s = Oa_harness.Stats.summary throughputs in
     Format.printf
@@ -136,18 +189,50 @@ let run_cmd =
       (s.Oa_harness.Stats.mean /. 1e6)
       (s.Oa_harness.Stats.ci95 /. 1e6)
       s.Oa_harness.Stats.n;
+    if s.Oa_harness.Stats.n > 1 then
+      Format.printf "  throughput p50=%.3f p90=%.3f p99=%.3f Mops/s@."
+        (s.Oa_harness.Stats.median /. 1e6)
+        (s.Oa_harness.Stats.p90 /. 1e6)
+        (s.Oa_harness.Stats.p99 /. 1e6);
     List.iter
       (fun r ->
         Format.printf "  run: %.3f Mops/s, elapsed %.4fs, final size %d, %a@."
           (r.E.throughput /. 1e6) r.E.elapsed r.E.final_size
           Oa_core.Smr_intf.pp_stats r.E.smr_stats)
-      results
+      results;
+    match metrics_file with
+    | None -> ()
+    | Some path ->
+        let snap = Oa_obs.Sink.snapshot sink in
+        let rendered =
+          match metrics_format with
+          | `Csv -> Oa_obs.Export.to_csv snap
+          | `Json -> Oa_obs.Export.to_json_lines snap
+          | `Table ->
+              Format.asprintf "%a"
+                (fun ppf snap -> Oa_harness.Report.metrics ~ppf snap)
+                snap
+        in
+        if path = "-" then (
+          Format.printf "@.=== SMR telemetry ===@.";
+          print_string rendered)
+        else begin
+          (try
+             let oc = open_out path in
+             output_string oc rendered;
+             close_out oc
+           with Sys_error msg ->
+             Format.eprintf "oa_cli: cannot write metrics: %s@." msg;
+             exit 1);
+          Format.printf "metrics written to %s@." path
+        end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single custom experiment.")
     Term.(
       const run $ structure $ scheme $ threads $ prefill $ ops $ mix $ delta
-      $ chunk $ seed $ zipf $ repeats $ backend)
+      $ chunk $ seed $ zipf $ repeats $ backend $ metrics $ metrics_format
+      $ trace_events)
 
 (* --- figure --- *)
 

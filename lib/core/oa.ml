@@ -56,6 +56,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_restarts : int;
     mutable s_phases : int;
     mutable s_fences : int;
+    o : Oa_obs.Recorder.t option;
   }
 
   and t = {
@@ -65,11 +66,12 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     retired : VP.t;
     processing : VP.t;
     registry : ctx list R.rcell;
+    obs : Oa_obs.Sink.t;
   }
 
   let name = "OA"
 
-  let create arena cfg =
+  let create ?(obs = Oa_obs.Sink.disabled) arena cfg =
     {
       arena;
       cfg;
@@ -77,6 +79,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       retired = VP.create ();
       processing = VP.create ();
       registry = R.rcell [];
+      obs;
     }
 
   let set_successor _ _ = ()
@@ -107,6 +110,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         s_restarts = 0;
         s_phases = 0;
         s_fences = 0;
+        o = Oa_obs.Sink.register mm.obs;
       }
     in
     let rec add () =
@@ -127,6 +131,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     if w land 1 = 1 then begin
       ignore (R.cas ctx.warning w (w land lnot 1));
       ctx.s_restarts <- ctx.s_restarts + 1;
+      Smr_intf.obs_incr ctx.o Oa_obs.Event.Rollback;
       raise Smr_intf.Restart
     end
 
@@ -157,6 +162,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       ignore (R.cas ctx.warning w (w land lnot 1));
       clear_write_hps ctx;
       ctx.s_restarts <- ctx.s_restarts + 1;
+      Smr_intf.obs_incr ctx.o Oa_obs.Event.Rollback;
       raise Smr_intf.Restart
     end;
     let res = R.cas d.target d.expected d.new_value in
@@ -201,6 +207,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
           done;
           ctx.owner_used <- 0;
           ctx.s_restarts <- ctx.s_restarts + 1;
+          Smr_intf.obs_incr ctx.o Oa_obs.Event.Rollback;
           raise Smr_intf.Restart
         end
       end
@@ -271,7 +278,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
      catching up with any phase changes that race with us. *)
   let rec push_retired ctx chunk =
     match VP.push ctx.mm.retired ~ver:ctx.local_ver chunk with
-    | `Ok -> ()
+    | `Ok -> Smr_intf.obs_incr ctx.o Oa_obs.Event.Pool_push
     | `Mismatch ->
         catch_up ctx;
         push_retired ctx chunk
@@ -285,16 +292,22 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     if ctx.local_ver = before + 2 then begin
       (* We are a processor of the current phase. *)
       ctx.s_phases <- ctx.s_phases + 1;
+      Smr_intf.obs_incr ctx.o Oa_obs.Event.Phase_flip;
       set_warnings mm ctx.local_ver;
       R.fence ();
       ctx.s_fences <- ctx.s_fences + 1;
       let protected_tbl = Hashtbl.create 64 in
+      Smr_intf.obs_incr ctx.o Oa_obs.Event.Hazard_scan;
       collect_hps mm protected_tbl;
+      let phase_recycled = ref 0 in
       let ready_acc = ref (VP.make_chunk cfg.Smr_intf.chunk_size) in
       let keep_acc = ref (VP.make_chunk cfg.Smr_intf.chunk_size) in
       let flush_ready () =
         if not (VP.chunk_empty !ready_acc) then begin
           ctx.s_recycled <- ctx.s_recycled + (!ready_acc).VP.len;
+          phase_recycled := !phase_recycled + (!ready_acc).VP.len;
+          Smr_intf.obs_add ctx.o Oa_obs.Event.Reclaim (!ready_acc).VP.len;
+          Smr_intf.obs_incr ctx.o Oa_obs.Event.Pool_push;
           VP.Plain.push mm.ready !ready_acc;
           ready_acc := VP.make_chunk cfg.Smr_intf.chunk_size
         end
@@ -309,6 +322,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         match VP.pop mm.processing ~ver:ctx.local_ver with
         | `Mismatch | `Empty -> ()
         | `Ok c ->
+            Smr_intf.obs_incr ctx.o Oa_obs.Event.Pool_pop;
             for i = 0 to c.VP.len - 1 do
               let idx = c.VP.slots.(i) in
               if Hashtbl.mem protected_tbl idx then begin
@@ -324,7 +338,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       in
       drain ();
       flush_ready ();
-      flush_keep ()
+      flush_keep ();
+      Smr_intf.obs_observe ctx.o "reclaim_batch" !phase_recycled
     end
 
   (* Algorithm 5: allocation.  Local chunk, then the shared ready pool,
@@ -348,8 +363,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       recycle ctx;
       global_recycled mm > before
     in
-    VP.refill ~arena:mm.arena ~ready:mm.ready
-      ~chunk_size:mm.cfg.Smr_intf.chunk_size ~reclaim
+    VP.refill ?obs:ctx.o ~arena:mm.arena ~ready:mm.ready
+      ~chunk_size:mm.cfg.Smr_intf.chunk_size ~reclaim ()
 
   let alloc ctx =
     if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;
@@ -361,6 +376,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let dealloc ctx p =
     if VP.chunk_full ctx.alloc_chunk then begin
+      Smr_intf.obs_incr ctx.o Oa_obs.Event.Pool_push;
       VP.Plain.push ctx.mm.ready ctx.alloc_chunk;
       ctx.alloc_chunk <- VP.make_chunk ctx.mm.cfg.Smr_intf.chunk_size
     end;
@@ -369,10 +385,13 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   (* Algorithm 4. *)
   let retire ctx p =
     ctx.s_retires <- ctx.s_retires + 1;
+    Smr_intf.obs_incr ctx.o Oa_obs.Event.Retire;
     if VP.chunk_full ctx.retire_chunk then begin
       let rec flush () =
         match VP.push ctx.mm.retired ~ver:ctx.local_ver ctx.retire_chunk with
-        | `Ok -> ctx.retire_chunk <- VP.make_chunk ctx.mm.cfg.Smr_intf.chunk_size
+        | `Ok ->
+            Smr_intf.obs_incr ctx.o Oa_obs.Event.Pool_push;
+            ctx.retire_chunk <- VP.make_chunk ctx.mm.cfg.Smr_intf.chunk_size
         | `Mismatch ->
             recycle ctx;
             flush ()

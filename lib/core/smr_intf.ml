@@ -103,6 +103,22 @@ let pp_stats ppf s =
     "allocs=%d retires=%d recycled=%d restarts=%d phases=%d fences=%d"
     s.allocs s.retires s.recycled s.restarts s.phases s.fences
 
+(** {2 Telemetry helpers}
+
+    Schemes record {!Oa_obs.Event} occurrences through a per-thread
+    [Oa_obs.Recorder.t option] obtained from the sink at registration time.
+    The option is [None] whenever the sink is disabled (the default), so
+    the hot-path cost of instrumentation is a single pattern match. *)
+
+let obs_incr o ev =
+  match o with None -> () | Some r -> Oa_obs.Recorder.incr r ev
+
+let obs_add o ev n =
+  match o with None -> () | Some r -> Oa_obs.Recorder.add r ev n
+
+let obs_observe o name v =
+  match o with None -> () | Some r -> Oa_obs.Recorder.observe r name v
+
 module type S = sig
   module R : Oa_runtime.Runtime_intf.S
 
@@ -126,7 +142,12 @@ module type S = sig
 
   val name : string
 
-  val create : Arena.Make(R).t -> config -> t
+  val create : ?obs:Oa_obs.Sink.t -> Arena.Make(R).t -> config -> t
+  (** [create ?obs arena cfg] builds the shared scheme state.  [obs]
+      (default {!Oa_obs.Sink.disabled}) receives the scheme's event
+      telemetry: each {!register} draws a per-thread recorder from it, and
+      the scheme reports the common SMR event vocabulary through that
+      recorder ({!Oa_obs.Event}). *)
 
   val set_successor : t -> (Ptr.t -> Ptr.t) -> unit
   (** Give the scheme a way to walk from a node to its successor in the

@@ -89,17 +89,22 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
 
   (** The allocation slow path shared by every reclaiming scheme: take a
       chunk from the shared ready pool, else from the arena's bump region,
-      else run the scheme's [reclaim] and retry.  [reclaim ~attempt]
+      else run the scheme's [reclaim] and retry.  [obs] (the calling
+      thread's recorder, when telemetry is enabled) receives a [Pool_pop]
+      per ready-pool hit and an [Alloc_stall] per reclamation round forced
+      by an empty pool and bump region.  [reclaim ~attempt]
       returns whether reclamation progressed anywhere in the system (not
       necessarily for this thread); progress resets the retry budget, so a
       thread only gives up — raising {!Smr_intf.Arena_exhausted} — when
       reclamation as a whole is stuck, i.e. the arena is undersized for
       the workload. *)
-  let refill ~arena ~ready ~chunk_size ~reclaim =
+  let refill ?obs ~arena ~ready ~chunk_size ~reclaim () =
     let rec attempt n =
       if n > 1000 then raise Smr_intf.Arena_exhausted;
       match Plain.pop ready with
-      | Some c when not (chunk_empty c) -> c
+      | Some c when not (chunk_empty c) ->
+          Smr_intf.obs_incr obs Oa_obs.Event.Pool_pop;
+          c
       | Some _ -> attempt n
       | None -> (
           match chunk_from_bump arena chunk_size with
@@ -108,6 +113,9 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
               match chunk_from_bump arena 1 with
               | Some c -> c
               | None ->
+                  (* both the ready pool and the bump region are dry:
+                     allocation stalls on a reclamation round *)
+                  Smr_intf.obs_incr obs Oa_obs.Event.Alloc_stall;
                   let progressed = reclaim ~attempt:n in
                   attempt (if progressed then 1 else n + 1)))
     in

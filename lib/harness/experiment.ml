@@ -109,11 +109,11 @@ let arena_capacity spec =
       base + inserts
   | _ -> base
 
-let make_backend spec : (module Oa_runtime.Runtime_intf.S) =
+let make_backend ?trace spec : (module Oa_runtime.Runtime_intf.S) =
   match spec.backend with
   | Sim { cost_model; quantum } ->
       Oa_runtime.Sim_backend.make ~seed:spec.seed ~quantum
-        ~max_threads:(spec.threads + 1) cost_model
+        ~max_threads:(spec.threads + 1) ?trace cost_model
   | Real -> Oa_runtime.Real_backend.make ~max_threads:(spec.threads + 1) ()
 
 (* The simulator charges shared-memory accesses; fixed per-operation compute
@@ -170,8 +170,14 @@ let drive (module R : Oa_runtime.Runtime_intf.S) spec ~(register : int -> ops)
   let total = per_thread * spec.threads in
   (elapsed, float_of_int total /. elapsed, size ())
 
-let run spec : result =
-  let module R = (val make_backend spec) in
+(** [run ?sink ?trace spec] executes one experiment.  [sink] (default
+    {!Oa_obs.Sink.disabled}) collects the scheme's event telemetry: the
+    caller snapshots it after [run] returns, at quiescence — per logical
+    thread on the sim backend, per domain after the join on the real one.
+    [trace] (sim backend only) records scheduler context switches into the
+    given ring buffer. *)
+let run ?(sink = Oa_obs.Sink.disabled) ?trace spec : result =
+  let module R = (val make_backend ?trace spec) in
   let module Sch = Oa_smr.Schemes.Make (R) in
   let module S = (val Sch.pack spec.scheme) in
   let capacity = arena_capacity spec in
@@ -179,7 +185,7 @@ let run spec : result =
   | Linked_list ->
       let module L = Oa_structures.Linked_list.Make (S) in
       let cfg = smr_config spec ~hp_slots:3 ~max_cas:1 in
-      let t = L.create ~capacity cfg in
+      let t = L.create ~obs:sink ~capacity cfg in
       let register _tid =
         let ctx = L.register t in
         {
@@ -197,7 +203,7 @@ let run spec : result =
   | Hash_table ->
       let module H = Oa_structures.Hash_table.Make (S) in
       let cfg = smr_config spec ~hp_slots:3 ~max_cas:1 in
-      let t = H.create ~capacity ~expected_size:spec.prefill cfg in
+      let t = H.create ~obs:sink ~capacity ~expected_size:spec.prefill cfg in
       let register _tid =
         let ctx = H.register t in
         {
@@ -217,7 +223,7 @@ let run spec : result =
       let cfg =
         smr_config spec ~hp_slots:Sl.hp_slots_needed ~max_cas:Sl.max_cas_needed
       in
-      let t = Sl.create ~capacity cfg in
+      let t = Sl.create ~obs:sink ~capacity cfg in
       let next_seed = ref spec.seed in
       let register _tid =
         incr next_seed;
@@ -235,6 +241,8 @@ let run spec : result =
       in
       { spec; throughput; elapsed; smr_stats = S.stats (Sl.smr t); final_size }
 
-(** Run [repeats] times with distinct seeds; returns per-run throughputs. *)
-let run_repeated ?(repeats = 3) spec =
-  List.init repeats (fun i -> run { spec with seed = spec.seed + (31 * i) })
+(** Run [repeats] times with distinct seeds; returns per-run throughputs.
+    A [sink] accumulates telemetry across all repetitions. *)
+let run_repeated ?(repeats = 3) ?sink ?trace spec =
+  List.init repeats (fun i ->
+      run ?sink ?trace { spec with seed = spec.seed + (31 * i) })

@@ -26,6 +26,52 @@ let table ~ppf ~row_header ~rows ~cols ~cell =
       Format.fprintf ppf "@.")
     rows
 
+(** Render an {!Oa_obs.Snapshot.t} as aligned ASCII tables: one row per
+    counter of the SMR event vocabulary, one row per histogram
+    (count/mean/p50/p90/p99/max), then the trace tail when one was
+    attached to the sink. *)
+let metrics ~ppf (s : Oa_obs.Snapshot.t) =
+  let counters = Oa_obs.Snapshot.counters s in
+  table ~ppf ~row_header:"counter"
+    ~rows:(List.map (fun (ev, _) -> Oa_obs.Event.to_string ev) counters)
+    ~cols:[ "count" ]
+    ~cell:(fun r _ ->
+      match Oa_obs.Event.of_string r with
+      | Some ev -> string_of_int (Oa_obs.Snapshot.get s ev)
+      | None -> "-");
+  (match s.Oa_obs.Snapshot.hists with
+  | [] -> ()
+  | hists ->
+      Format.fprintf ppf "@.";
+      table ~ppf ~row_header:"histogram"
+        ~rows:(List.map fst hists)
+        ~cols:[ "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+        ~cell:(fun r c ->
+          match List.assoc_opt r hists with
+          | None -> "-"
+          | Some h ->
+              let open Oa_obs.Histogram in
+              if count h = 0 then "-"
+              else (
+                match c with
+                | "count" -> string_of_int (count h)
+                | "mean" -> Printf.sprintf "%.1f" (mean h)
+                | "p50" -> Printf.sprintf "%.0f" (quantile 0.5 h)
+                | "p90" -> Printf.sprintf "%.0f" (quantile 0.9 h)
+                | "p99" -> Printf.sprintf "%.0f" (quantile 0.99 h)
+                | "max" -> string_of_int h.max_v
+                | _ -> "-")));
+  match s.Oa_obs.Snapshot.trace with
+  | [] -> ()
+  | evs ->
+      Format.fprintf ppf "@.trace tail (%d events, %d dropped):@."
+        (List.length evs) s.Oa_obs.Snapshot.trace_dropped;
+      List.iter
+        (fun (e : Oa_obs.Snapshot.trace_event) ->
+          Format.fprintf ppf "  t=%-12d tid=%d %s@." e.Oa_obs.Snapshot.time
+            e.Oa_obs.Snapshot.tid e.Oa_obs.Snapshot.label)
+        evs
+
 let section ppf title =
   Format.fprintf ppf "@.=== %s ===@." title
 

@@ -11,6 +11,8 @@ type summary = {
   min : float;
   max : float;
   median : float;
+  p90 : float;  (** 90th percentile (tail behaviour, not just mean±CI) *)
+  p99 : float;  (** 99th percentile *)
 }
 
 let mean xs =
@@ -37,14 +39,31 @@ let t_quantile n =
   else if df <= Array.length table then table.(df - 1)
   else 1.96
 
-let median xs =
-  match List.sort compare xs with
-  | [] -> invalid_arg "Stats.median: empty"
-  | sorted ->
-      let n = List.length sorted in
-      let nth i = List.nth sorted i in
-      if n mod 2 = 1 then nth (n / 2)
-      else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+(* Percentile of a sorted array with linear interpolation between ranks
+   (the "type 7" estimator of R/NumPy): rank r = p * (n-1), interpolating
+   between floor(r) and ceil(r). *)
+let percentile_sorted a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty"
+  else if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]"
+  else if n = 1 then a.(0)
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+(** [percentile p xs] for [p] in [[0, 1]]: sorts once into an array (O(n
+    log n), unlike the former list-walking median's O(n²)) and
+    interpolates linearly between ranks.  [percentile 0.5] is the median. *)
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  percentile_sorted a p
+
+let median xs = percentile 0.5 xs
 
 let summary xs =
   match xs with
@@ -52,14 +71,18 @@ let summary xs =
   | _ ->
       let n = List.length xs in
       let sd = stddev xs in
+      let a = Array.of_list xs in
+      Array.sort compare a;
       {
         n;
         mean = mean xs;
         stddev = sd;
         ci95 = t_quantile n *. sd /. sqrt (float_of_int n);
-        min = List.fold_left min infinity xs;
-        max = List.fold_left max neg_infinity xs;
-        median = median xs;
+        min = a.(0);
+        max = a.(n - 1);
+        median = percentile_sorted a 0.5;
+        p90 = percentile_sorted a 0.9;
+        p99 = percentile_sorted a 0.99;
       }
 
 let pp_summary ppf s =

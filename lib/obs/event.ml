@@ -1,0 +1,70 @@
+(** The typed SMR event vocabulary.
+
+    Every reclamation scheme reports its internal activity through the same
+    eight events so that schemes can be compared mechanism-to-mechanism
+    (retire/reclaim volumes, phase cadence, rollback counts) rather than
+    only by end-to-end throughput.  Per-scheme semantics are documented in
+    docs/observability.md; the short version:
+
+    - {!Retire} — a node handed to the scheme after its proper retire.
+    - {!Reclaim} — a node made available for re-allocation (recorded with
+      the batch size, so volumes are comparable across schemes).
+    - {!Phase_flip} — a global-progress step: an OA reclamation phase
+      processed, or an EBR epoch advance.
+    - {!Rollback} — a barrier-triggered restart (OA's warning bit).
+    - {!Hazard_scan} — a scan over all threads' protection announcements
+      (HP scan, Anchors scan, OA's hazard collection inside a phase).
+    - {!Pool_push} / {!Pool_pop} — a chunk moved to / taken from a shared
+      pool (OA's retired/processing pools, every scheme's ready pool).
+    - {!Alloc_stall} — an allocation slow-path round that had to run
+      reclamation because both the ready pool and the bump region were
+      empty. *)
+
+type t =
+  | Retire
+  | Reclaim
+  | Phase_flip
+  | Rollback
+  | Hazard_scan
+  | Pool_push
+  | Pool_pop
+  | Alloc_stall
+
+let all =
+  [
+    Retire;
+    Reclaim;
+    Phase_flip;
+    Rollback;
+    Hazard_scan;
+    Pool_push;
+    Pool_pop;
+    Alloc_stall;
+  ]
+
+let count = List.length all
+
+let index = function
+  | Retire -> 0
+  | Reclaim -> 1
+  | Phase_flip -> 2
+  | Rollback -> 3
+  | Hazard_scan -> 4
+  | Pool_push -> 5
+  | Pool_pop -> 6
+  | Alloc_stall -> 7
+
+let to_string = function
+  | Retire -> "retire"
+  | Reclaim -> "reclaim"
+  | Phase_flip -> "phase_flip"
+  | Rollback -> "rollback"
+  | Hazard_scan -> "hazard_scan"
+  | Pool_push -> "pool_push"
+  | Pool_pop -> "pool_pop"
+  | Alloc_stall -> "alloc_stall"
+
+let of_string s =
+  List.find_opt (fun e -> to_string e = s) all
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

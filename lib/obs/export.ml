@@ -1,0 +1,134 @@
+(** Exporters rendering a {!Snapshot.t} as CSV, line-delimited JSON, or a
+    plain ASCII table.
+
+    The harness additionally renders snapshots through its aligned-table
+    printer ([Oa_harness.Report.metrics]); the formats here are the
+    machine-readable ones shared by [oa_cli --metrics] and the benchmark
+    harness. *)
+
+let hist_quantiles = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
+(* --- CSV: "name,kind,key,value" rows --- *)
+
+let to_csv (s : Snapshot.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "name,kind,key,value\n";
+  List.iter
+    (fun (ev, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,counter,,%d\n" (Event.to_string ev) n))
+    (Snapshot.counters s);
+  List.iter
+    (fun (name, h) ->
+      let add key value =
+        Buffer.add_string buf
+          (Printf.sprintf "%s,histogram,%s,%s\n" name key value)
+      in
+      add "count" (string_of_int (Histogram.count h));
+      add "sum" (string_of_int (Histogram.sum h));
+      List.iter
+        (fun (key, q) -> add key (Printf.sprintf "%.1f" (Histogram.quantile q h)))
+        hist_quantiles;
+      List.iter
+        (fun (lo, hi, c) ->
+          add (Printf.sprintf "bucket_%d_%d" lo hi) (string_of_int c))
+        (Histogram.nonempty_buckets h))
+    s.Snapshot.hists;
+  List.iter
+    (fun (e : Snapshot.trace_event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "trace,event,%d/%d,%s\n" e.Snapshot.time e.Snapshot.tid
+           (String.map (fun c -> if c = ',' then ';' else c) e.Snapshot.label)))
+    s.Snapshot.trace;
+  if s.Snapshot.trace_dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "trace,dropped,,%d\n" s.Snapshot.trace_dropped);
+  Buffer.contents buf
+
+(* --- line-delimited JSON: one object per metric --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json_lines (s : Snapshot.t) =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (ev, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"counter\",\"value\":%d}\n"
+           (Event.to_string ev) n))
+    (Snapshot.counters s);
+  List.iter
+    (fun (name, h) ->
+      let quants =
+        String.concat ","
+          (List.map
+             (fun (key, q) ->
+               Printf.sprintf "\"%s\":%.1f" key (Histogram.quantile q h))
+             hist_quantiles)
+      in
+      let buckets =
+        String.concat ","
+          (List.map
+             (fun (lo, hi, c) -> Printf.sprintf "[%d,%d,%d]" lo hi c)
+             (Histogram.nonempty_buckets h))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"metric\":\"%s\",\"kind\":\"histogram\",\"count\":%d,\"sum\":%d,%s,\"buckets\":[%s]}\n"
+           (json_escape name) (Histogram.count h) (Histogram.sum h) quants
+           buckets))
+    s.Snapshot.hists;
+  List.iter
+    (fun (e : Snapshot.trace_event) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"kind\":\"trace\",\"time\":%d,\"tid\":%d,\"label\":\"%s\"}\n"
+           e.Snapshot.time e.Snapshot.tid (json_escape e.Snapshot.label)))
+    s.Snapshot.trace;
+  if s.Snapshot.trace_dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "{\"kind\":\"trace_dropped\",\"value\":%d}\n"
+         s.Snapshot.trace_dropped);
+  Buffer.contents buf
+
+(* --- plain ASCII table (dependency-free; the harness has a prettier
+   aligned renderer on top of Report.table) --- *)
+
+let to_table (s : Snapshot.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "counter          count\n";
+  List.iter
+    (fun (ev, n) ->
+      Buffer.add_string buf (Printf.sprintf "%-15s %6d\n" (Event.to_string ev) n))
+    (Snapshot.counters s);
+  List.iter
+    (fun (name, h) ->
+      Buffer.add_string buf
+        (Format.asprintf "hist %-12s %a\n" name Histogram.pp h))
+    s.Snapshot.hists;
+  (match s.Snapshot.trace with
+  | [] -> ()
+  | evs ->
+      Buffer.add_string buf
+        (Printf.sprintf "trace (%d events, %d dropped)\n" (List.length evs)
+           s.Snapshot.trace_dropped);
+      List.iter
+        (fun (e : Snapshot.trace_event) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  t=%-12d tid=%d %s\n" e.Snapshot.time
+               e.Snapshot.tid e.Snapshot.label))
+        evs);
+  Buffer.contents buf

@@ -1,0 +1,119 @@
+(** Fixed-bucket log-scale histograms of non-negative integer samples.
+
+    Buckets are powers of two: bucket 0 holds the value 0, bucket [i >= 1]
+    holds values in [[2^(i-1), 2^i - 1]].  With 63 buckets every
+    non-negative OCaml [int] maps to exactly one bucket, so recording is a
+    branch-free increment into a preallocated array — cheap enough for the
+    hot paths of a reclamation scheme — and merging is pointwise addition,
+    which makes snapshot merging associative and commutative.
+
+    Quantile estimates interpolate linearly inside the winning bucket and
+    are exact for the minimum and maximum recorded sample. *)
+
+let n_buckets = 63
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;  (** meaningless while [count = 0] *)
+  mutable max_v : int;
+}
+
+let create () =
+  {
+    buckets = Array.make n_buckets 0;
+    count = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = min_int;
+  }
+
+(* Index of the bucket holding [v]: 0 for 0, else one past the position of
+   the highest set bit. *)
+let bucket_of v =
+  if v < 0 then invalid_arg "Histogram: negative sample";
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 v
+
+(** Inclusive value range [(lo, hi)] of bucket [i]. *)
+let bucket_bounds i =
+  if i < 0 || i >= n_buckets then invalid_arg "Histogram.bucket_bounds";
+  if i = 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let observe h v =
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
+
+let count h = h.count
+let sum h = h.sum
+let mean h = if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count
+
+let merge a b =
+  let m = create () in
+  for i = 0 to n_buckets - 1 do
+    m.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
+  done;
+  m.count <- a.count + b.count;
+  m.sum <- a.sum + b.sum;
+  m.min_v <- min a.min_v b.min_v;
+  m.max_v <- max a.max_v b.max_v;
+  m
+
+let copy h = merge h (create ())
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum
+  && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+  && a.buckets = b.buckets
+
+(** [quantile q h] for [q] in [[0, 1]]: the estimated value below which a
+    [q] fraction of the samples fall.  0 when the histogram is empty. *)
+let quantile q h =
+  if h.count = 0 then 0.0
+  else if q <= 0.0 then float_of_int h.min_v
+  else if q >= 1.0 then float_of_int h.max_v
+  else begin
+    let rank = q *. float_of_int h.count in
+    let acc = ref 0.0 and i = ref 0 and res = ref (float_of_int h.max_v) in
+    (try
+       while !i < n_buckets do
+         let c = float_of_int h.buckets.(!i) in
+         if c > 0.0 && !acc +. c >= rank then begin
+           let lo, hi = bucket_bounds !i in
+           (* clamp to the observed extremes so single-bucket histograms
+              report exact values *)
+           let lo = float_of_int (max lo h.min_v)
+           and hi = float_of_int (min hi h.max_v) in
+           let frac = (rank -. !acc) /. c in
+           res := lo +. (frac *. (hi -. lo));
+           raise Exit
+         end;
+         acc := !acc +. c;
+         incr i
+       done
+     with Exit -> ());
+    !res
+  end
+
+(** Non-empty buckets as [(lo, hi, count)] triples, ascending. *)
+let nonempty_buckets h =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      out := (lo, hi, h.buckets.(i)) :: !out
+    end
+  done;
+  !out
+
+let pp ppf h =
+  if h.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%.0f p90=%.0f p99=%.0f max=%d"
+      h.count (mean h) (quantile 0.5 h) (quantile 0.9 h) (quantile 0.99 h)
+      h.max_v

@@ -1,0 +1,38 @@
+(** A per-thread metrics recorder.
+
+    Each logical thread (sim coroutine or OCaml domain) owns exactly one
+    recorder: all fields are plain, unsynchronised mutable state, written
+    only by the owning thread, so the hot path is an array increment with
+    no shared-cache-line traffic.  Recorders are merged into an
+    {!Snapshot.t} only at quiescence (after [par_run] joins), where reading
+    another thread's counters is safe. *)
+
+type t = {
+  counts : int array;  (** indexed by {!Event.index} *)
+  mutable hists : (string * Histogram.t) list;
+      (** named histograms, created on first observation; the list stays
+          tiny (a handful of names per scheme), so assoc lookup is fine on
+          the rare paths that observe samples *)
+}
+
+let create () = { counts = Array.make Event.count 0; hists = [] }
+
+let incr r ev =
+  let i = Event.index ev in
+  r.counts.(i) <- r.counts.(i) + 1
+
+let add r ev n =
+  let i = Event.index ev in
+  r.counts.(i) <- r.counts.(i) + n
+
+let get r ev = r.counts.(Event.index ev)
+
+let histogram r name =
+  match List.assoc_opt name r.hists with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      r.hists <- (name, h) :: r.hists;
+      h
+
+let observe r name v = Histogram.observe (histogram r name) v

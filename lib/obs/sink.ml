@@ -1,0 +1,65 @@
+(** The recording endpoint threaded through SMR schemes.
+
+    A sink is either {!disabled} — the default everywhere; registration
+    hands out no recorder, so instrumented code reduces to a [None] match
+    and benchmarks pay nothing — or enabled, in which case every
+    registering thread receives its own private {!Recorder.t} and
+    {!snapshot} merges them all at quiescence.
+
+    Registration is rare (once per thread per structure) and is the only
+    operation that mutates shared sink state, so a [Mutex] suffices; the
+    recording hot path never touches the sink again.  An optional trace
+    source (normally {!Oa_simrt.Trace} on the simulated backend) can be
+    attached with {!attach_trace}; it is polled once per {!snapshot} and
+    its events ride along in the snapshot. *)
+
+type state = {
+  lock : Mutex.t;
+  mutable recorders : Recorder.t list;
+  mutable trace_source : (unit -> Snapshot.trace_event list * int) option;
+}
+
+type t = Disabled | Enabled of state
+
+let disabled = Disabled
+
+let create () =
+  Enabled { lock = Mutex.create (); recorders = []; trace_source = None }
+
+let is_enabled = function Disabled -> false | Enabled _ -> true
+
+(** A fresh per-thread recorder, or [None] on a disabled sink. *)
+let register = function
+  | Disabled -> None
+  | Enabled s ->
+      let r = Recorder.create () in
+      Mutex.lock s.lock;
+      s.recorders <- r :: s.recorders;
+      Mutex.unlock s.lock;
+      Some r
+
+(** [attach_trace t f] registers [f] as the sink's trace source; [f] must
+    return the retained events (oldest first) and the dropped-event count.
+    The last attachment wins.  No-op on a disabled sink. *)
+let attach_trace t f =
+  match t with Disabled -> () | Enabled s -> s.trace_source <- Some f
+
+(** Merge all registered recorders (and the attached trace source, if any)
+    into one snapshot.  Call at quiescence — after [par_run] has joined —
+    so that reading other threads' recorders is race-free. *)
+let snapshot = function
+  | Disabled -> Snapshot.empty
+  | Enabled s ->
+      Mutex.lock s.lock;
+      let recorders = s.recorders in
+      Mutex.unlock s.lock;
+      let base =
+        List.fold_left
+          (fun acc r -> Snapshot.merge acc (Snapshot.of_recorder r))
+          Snapshot.empty recorders
+      in
+      (match s.trace_source with
+      | None -> base
+      | Some f ->
+          let events, dropped = f () in
+          Snapshot.with_trace base ~events ~dropped)

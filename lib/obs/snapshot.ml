@@ -1,0 +1,74 @@
+(** A merged, immutable view of a set of {!Recorder}s.
+
+    Snapshots are taken at quiescence and merged with {!merge}, which is
+    associative and commutative (counter addition, pointwise histogram
+    addition, trace concatenation) — the property that makes per-thread
+    recording and after-join aggregation equivalent on both backends. *)
+
+(** A scheduler/trace event carried alongside the counters; mirrors
+    [Oa_simrt.Trace.event] without depending on it, so [Oa_obs] stays
+    backend-agnostic. *)
+type trace_event = { time : int; tid : int; label : string }
+
+type t = {
+  counts : int array;  (** indexed by {!Event.index} *)
+  hists : (string * Histogram.t) list;  (** sorted by name *)
+  trace : trace_event list;  (** oldest first *)
+  trace_dropped : int;
+}
+
+let empty =
+  { counts = Array.make Event.count 0; hists = []; trace = []; trace_dropped = 0 }
+
+let get t ev = t.counts.(Event.index ev)
+
+let counters t = List.map (fun ev -> (ev, get t ev)) Event.all
+
+let find_hist t name = List.assoc_opt name t.hists
+
+let of_recorder (r : Recorder.t) =
+  {
+    counts = Array.copy r.Recorder.counts;
+    hists =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (List.map (fun (n, h) -> (n, Histogram.copy h)) r.Recorder.hists);
+    trace = [];
+    trace_dropped = 0;
+  }
+
+(* Merge two sorted assoc lists of histograms, combining equal names. *)
+let rec merge_hists a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (na, ha) :: ra, (nb, hb) :: rb ->
+      if na = nb then (na, Histogram.merge ha hb) :: merge_hists ra rb
+      else if na < nb then (na, ha) :: merge_hists ra b
+      else (nb, hb) :: merge_hists a rb
+
+let merge a b =
+  {
+    counts = Array.init Event.count (fun i -> a.counts.(i) + b.counts.(i));
+    hists = merge_hists a.hists b.hists;
+    trace = a.trace @ b.trace;
+    trace_dropped = a.trace_dropped + b.trace_dropped;
+  }
+
+let with_trace t ~events ~dropped = { t with trace = events; trace_dropped = dropped }
+
+let equal a b =
+  a.counts = b.counts
+  && List.length a.hists = List.length b.hists
+  && List.for_all2
+       (fun (na, ha) (nb, hb) -> na = nb && Histogram.equal ha hb)
+       a.hists b.hists
+  && a.trace = b.trace
+  && a.trace_dropped = b.trace_dropped
+
+let pp ppf t =
+  List.iter
+    (fun (ev, n) -> Format.fprintf ppf "%a=%d@ " Event.pp ev n)
+    (counters t);
+  List.iter
+    (fun (name, h) -> Format.fprintf ppf "%s: %a@ " name Histogram.pp h)
+    t.hists

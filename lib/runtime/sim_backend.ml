@@ -3,11 +3,19 @@
 
 open Oa_simrt
 
-let make ?(seed = 0) ?(quantum = 0) ?(max_threads = 128) cost_model :
+let make ?(seed = 0) ?(quantum = 0) ?(max_threads = 128) ?trace cost_model :
     (module Runtime_intf.S) =
   (module struct
     let name = "sim"
     let sched = Sched.create ~seed ~quantum cost_model
+
+    let () =
+      match trace with
+      | None -> ()
+      | Some tr ->
+          Sched.set_switch_hook sched (fun ~tid ~clock ->
+              Trace.record tr ~time:clock ~tid "switch")
+
     let mem = Smem.create sched ~threads:max_threads
 
     type cell = Smem.cell

@@ -8,6 +8,7 @@ val make :
   ?seed:int ->
   ?quantum:int ->
   ?max_threads:int ->
+  ?trace:Oa_simrt.Trace.t ->
   Oa_simrt.Cost_model.t ->
   (module Runtime_intf.S)
 (** [make cost_model] builds a fresh simulated runtime.
@@ -18,4 +19,6 @@ val make :
     values trade interleaving resolution for simulation speed (benchmarks
     use 128; Ablation B shows measured throughput is insensitive to it);
     [max_threads] (default [128]) bounds [par_run]'s thread count and
-    sizes the per-thread caches. *)
+    sizes the per-thread caches; [trace] installs a ring-buffer trace as
+    the scheduler's switch hook, recording every context switch (consumed
+    by [oa_cli --trace-events] via the metrics sink). *)

@@ -55,6 +55,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_recycled : int;
     mutable s_phases : int;
     mutable s_fences : int;
+    o : Oa_obs.Recorder.t option;
   }
 
   and t = {
@@ -65,11 +66,12 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     next_id : R.cell;
     mutable successor : Ptr.t -> Ptr.t;
     mutable has_successor : bool;
+    obs : Oa_obs.Sink.t;
   }
 
   let name = "Anchors"
 
-  let create arena cfg =
+  let create ?(obs = Oa_obs.Sink.disabled) arena cfg =
     {
       arena;
       cfg;
@@ -78,6 +80,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       next_id = R.cell 0;
       successor = (fun _ -> Ptr.null);
       has_successor = false;
+      obs;
     }
 
   (** Install the structure's successor function, used by the scan to
@@ -109,6 +112,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         s_recycled = 0;
         s_phases = 0;
         s_fences = 0;
+        o = Oa_obs.Sink.register mm.obs;
       }
     in
     let rec add () =
@@ -167,6 +171,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let scan ctx =
     let mm = ctx.mm in
     ctx.s_phases <- ctx.s_phases + 1;
+    I.obs_incr ctx.o Oa_obs.Event.Hazard_scan;
     let threads = R.rread mm.registry in
     (* Snapshot thread states and decide whether the grace condition (all
        re-anchored or inactive since the previous scan) holds. *)
@@ -206,11 +211,14 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     let free_acc = ref (VP.make_chunk mm.cfg.I.chunk_size) in
     let flush () =
       if not (VP.chunk_empty !free_acc) then begin
+        I.obs_add ctx.o Oa_obs.Event.Reclaim (!free_acc).VP.len;
+        I.obs_incr ctx.o Oa_obs.Event.Pool_push;
         VP.Plain.push mm.ready !free_acc;
         free_acc := VP.make_chunk mm.cfg.I.chunk_size
       end
     in
     let kept = ref 0 in
+    let freed = ref 0 in
     for i = 0 to ctx.n_retired - 1 do
       let e = ctx.retired.(i) in
       let freeable =
@@ -219,6 +227,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       in
       if freeable then begin
         ctx.s_recycled <- ctx.s_recycled + 1;
+        incr freed;
         if VP.chunk_full !free_acc then flush ();
         VP.chunk_push !free_acc e.idx
       end
@@ -228,11 +237,13 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       end
     done;
     flush ();
+    I.obs_observe ctx.o "reclaim_batch" !freed;
     ctx.n_retired <- !kept;
     ctx.scan_count <- ctx.scan_count + 1
 
   let retire ctx p =
     ctx.s_retires <- ctx.s_retires + 1;
+    I.obs_incr ctx.o Oa_obs.Event.Retire;
     if ctx.n_retired >= Array.length ctx.retired then begin
       let bigger =
         Array.make (2 * Array.length ctx.retired) { idx = -1; stamp = 0 }
@@ -247,11 +258,13 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let refill ctx =
     let mm = ctx.mm in
-    VP.refill ~arena:mm.arena ~ready:mm.ready ~chunk_size:mm.cfg.I.chunk_size
+    VP.refill ?obs:ctx.o ~arena:mm.arena ~ready:mm.ready
+      ~chunk_size:mm.cfg.I.chunk_size
       ~reclaim:(fun ~attempt:_ ->
         let before = ctx.s_recycled in
         scan ctx;
         ctx.s_recycled > before)
+      ()
 
   let alloc ctx =
     if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;
@@ -263,6 +276,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let dealloc ctx p =
     if VP.chunk_full ctx.alloc_chunk then begin
+      I.obs_incr ctx.o Oa_obs.Event.Pool_push;
       VP.Plain.push ctx.mm.ready ctx.alloc_chunk;
       ctx.alloc_chunk <- VP.make_chunk ctx.mm.cfg.I.chunk_size
     end;

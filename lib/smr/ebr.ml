@@ -41,6 +41,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_recycled : int;
     mutable s_phases : int;
     mutable s_fences : int;
+    o : Oa_obs.Recorder.t option;
   }
 
   and t = {
@@ -49,17 +50,19 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     epoch : R.cell;
     ready : VP.Plain.t;
     registry : ctx list R.rcell;
+    obs : Oa_obs.Sink.t;
   }
 
   let name = "EBR"
 
-  let create arena cfg =
+  let create ?(obs = Oa_obs.Sink.disabled) arena cfg =
     {
       arena;
       cfg;
       epoch = R.cell 2;
       ready = VP.Plain.create ();
       registry = R.rcell [];
+      obs;
     }
 
   let set_successor _ _ = ()
@@ -80,6 +83,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         s_recycled = 0;
         s_phases = 0;
         s_fences = 0;
+        o = Oa_obs.Sink.register mm.obs;
       }
     in
     let rec add () =
@@ -92,6 +96,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let push_free ctx idx =
     let mm = ctx.mm in
     if VP.chunk_full ctx.alloc_chunk then begin
+      I.obs_incr ctx.o Oa_obs.Event.Pool_push;
       VP.Plain.push mm.ready ctx.alloc_chunk;
       ctx.alloc_chunk <- VP.make_chunk mm.cfg.I.chunk_size
     end;
@@ -102,6 +107,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     Array.iter
       (fun (b : bucket) ->
         if b.epoch >= 0 && b.epoch <= epoch - 2 && b.len > 0 then begin
+          I.obs_add ctx.o Oa_obs.Event.Reclaim b.len;
+          I.obs_observe ctx.o "reclaim_batch" b.len;
           for i = 0 to b.len - 1 do
             ctx.s_recycled <- ctx.s_recycled + 1;
             push_free ctx b.nodes.(i)
@@ -137,20 +144,27 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         if w land 1 = 1 && w asr 1 <> e then ok := false)
       (R.rread mm.registry);
     if !ok then begin
-      if R.cas mm.epoch e (e + 1) then ctx.s_phases <- ctx.s_phases + 1
+      if R.cas mm.epoch e (e + 1) then begin
+        ctx.s_phases <- ctx.s_phases + 1;
+        I.obs_incr ctx.o Oa_obs.Event.Phase_flip
+      end
     end
 
   let retire ctx p =
     ctx.s_retires <- ctx.s_retires + 1;
+    I.obs_incr ctx.o Oa_obs.Event.Retire;
     let b = ctx.buckets.(ctx.local_epoch mod 3) in
     (* Reusing a bucket whose epoch differs: its content is at least three
        epochs old (mod-3 indexing), hence safe to free now. *)
     if b.epoch <> ctx.local_epoch then begin
-      if b.len > 0 then
+      if b.len > 0 then begin
+        I.obs_add ctx.o Oa_obs.Event.Reclaim b.len;
+        I.obs_observe ctx.o "reclaim_batch" b.len;
         for i = 0 to b.len - 1 do
           ctx.s_recycled <- ctx.s_recycled + 1;
           push_free ctx b.nodes.(i)
-        done;
+        done
+      end;
       b.len <- 0;
       b.epoch <- ctx.local_epoch
     end;
@@ -194,8 +208,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       end;
       ctx.s_recycled > before
     in
-    VP.refill ~arena:mm.arena ~ready:mm.ready ~chunk_size:mm.cfg.I.chunk_size
-      ~reclaim
+    VP.refill ?obs:ctx.o ~arena:mm.arena ~ready:mm.ready
+      ~chunk_size:mm.cfg.I.chunk_size ~reclaim ()
 
   let alloc ctx =
     if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;

@@ -37,6 +37,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_recycled : int;
     mutable s_phases : int;
     mutable s_fences : int;
+    o : Oa_obs.Recorder.t option;
   }
 
   and t = {
@@ -44,12 +45,13 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     cfg : I.config;
     ready : VP.Plain.t;
     registry : ctx list R.rcell;
+    obs : Oa_obs.Sink.t;
   }
 
   let name = "HP"
 
-  let create arena cfg =
-    { arena; cfg; ready = VP.Plain.create (); registry = R.rcell [] }
+  let create ?(obs = Oa_obs.Sink.disabled) arena cfg =
+    { arena; cfg; ready = VP.Plain.create (); registry = R.rcell []; obs }
 
   let set_successor _ _ = ()
 
@@ -74,6 +76,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         s_recycled = 0;
         s_phases = 0;
         s_fences = 0;
+        o = Oa_obs.Sink.register mm.obs;
       }
     in
     let rec add () =
@@ -150,6 +153,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let scan ctx =
     let mm = ctx.mm in
     ctx.s_phases <- ctx.s_phases + 1;
+    I.obs_incr ctx.o Oa_obs.Event.Hazard_scan;
     let tbl = Hashtbl.create 64 in
     List.iter
       (fun (t : ctx) ->
@@ -160,9 +164,12 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
           t.hps)
       (R.rread mm.registry);
     let kept = ref 0 in
+    let freed = ref 0 in
     let free_acc = ref (VP.make_chunk mm.cfg.I.chunk_size) in
     let flush () =
       if not (VP.chunk_empty !free_acc) then begin
+        I.obs_add ctx.o Oa_obs.Event.Reclaim (!free_acc).VP.len;
+        I.obs_incr ctx.o Oa_obs.Event.Pool_push;
         VP.Plain.push mm.ready !free_acc;
         free_acc := VP.make_chunk mm.cfg.I.chunk_size
       end
@@ -175,15 +182,18 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       end
       else begin
         ctx.s_recycled <- ctx.s_recycled + 1;
+        incr freed;
         if VP.chunk_full !free_acc then flush ();
         VP.chunk_push !free_acc idx
       end
     done;
     flush ();
+    I.obs_observe ctx.o "reclaim_batch" !freed;
     ctx.n_retired <- !kept
 
   let retire ctx p =
     ctx.s_retires <- ctx.s_retires + 1;
+    I.obs_incr ctx.o Oa_obs.Event.Retire;
     if ctx.n_retired >= Array.length ctx.retired then begin
       let bigger = Array.make (2 * Array.length ctx.retired) (-1) in
       Array.blit ctx.retired 0 bigger 0 ctx.n_retired;
@@ -195,11 +205,13 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let refill ctx =
     let mm = ctx.mm in
-    VP.refill ~arena:mm.arena ~ready:mm.ready ~chunk_size:mm.cfg.I.chunk_size
+    VP.refill ?obs:ctx.o ~arena:mm.arena ~ready:mm.ready
+      ~chunk_size:mm.cfg.I.chunk_size
       ~reclaim:(fun ~attempt:_ ->
         let before = ctx.s_recycled in
         scan ctx;
         ctx.s_recycled > before)
+      ()
 
   let alloc ctx =
     if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;
@@ -211,6 +223,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let dealloc ctx p =
     if VP.chunk_full ctx.alloc_chunk then begin
+      I.obs_incr ctx.o Oa_obs.Event.Pool_push;
       VP.Plain.push ctx.mm.ready ctx.alloc_chunk;
       ctx.alloc_chunk <- VP.make_chunk ctx.mm.cfg.I.chunk_size
     end;

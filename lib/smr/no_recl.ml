@@ -27,18 +27,32 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable alloc_chunk : VP.chunk;
     mutable s_allocs : int;
     mutable s_retires : int;
+    o : Oa_obs.Recorder.t option;
   }
 
-  and t = { arena : A.t; cfg : Oa_core.Smr_intf.config; registry : ctx list R.rcell }
+  and t = {
+    arena : A.t;
+    cfg : Oa_core.Smr_intf.config;
+    registry : ctx list R.rcell;
+    obs : Oa_obs.Sink.t;
+  }
 
   let name = "NoRecl"
-  let create arena cfg = { arena; cfg; registry = R.rcell [] }
+
+  let create ?(obs = Oa_obs.Sink.disabled) arena cfg =
+    { arena; cfg; registry = R.rcell []; obs }
 
   let set_successor _ _ = ()
 
   let register mm =
     let ctx =
-      { mm; alloc_chunk = VP.make_chunk 0; s_allocs = 0; s_retires = 0 }
+      {
+        mm;
+        alloc_chunk = VP.make_chunk 0;
+        s_allocs = 0;
+        s_retires = 0;
+        o = Oa_obs.Sink.register mm.obs;
+      }
     in
     let rec add () =
       let l = R.rread mm.registry in
@@ -81,7 +95,9 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     if not (VP.chunk_full ctx.alloc_chunk) then
       VP.chunk_push ctx.alloc_chunk (Ptr.index (Ptr.unmark p))
 
-  let retire ctx _ = ctx.s_retires <- ctx.s_retires + 1
+  let retire ctx _ =
+    ctx.s_retires <- ctx.s_retires + 1;
+    Oa_core.Smr_intf.obs_incr ctx.o Oa_obs.Event.Retire
   let read_ptr _ ~hp:_ cell = R.read cell
   let read_data _ cell = R.read cell
   let protect_move _ ~hp:_ _ = ()

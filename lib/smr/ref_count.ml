@@ -49,6 +49,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_retires : int;
     mutable s_recycled : int;
     mutable s_fences : int;
+    o : Oa_obs.Recorder.t option;
   }
 
   and t = {
@@ -58,11 +59,12 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     flags : R.cell array;  (* per-node lifecycle flags *)
     ready : VP.Plain.t;
     registry : ctx list R.rcell;
+    obs : Oa_obs.Sink.t;
   }
 
   let name = "RC"
 
-  let create arena cfg =
+  let create ?(obs = Oa_obs.Sink.disabled) arena cfg =
     let capacity = A.capacity arena in
     let one_per_node () =
       let m = R.node_cells ~nodes:capacity ~fields:1 in
@@ -75,6 +77,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       flags = one_per_node ();
       ready = VP.Plain.create ();
       registry = R.rcell [];
+      obs;
     }
 
   let set_successor _ _ = ()
@@ -92,6 +95,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         s_retires = 0;
         s_recycled = 0;
         s_fences = 0;
+        o = Oa_obs.Sink.register mm.obs;
       }
     in
     let rec add () =
@@ -107,7 +111,10 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let push_free ctx idx =
     let mm = ctx.mm in
     ctx.s_recycled <- ctx.s_recycled + 1;
+    (* eager scheme: reclamation happens node-by-node at release time *)
+    I.obs_incr ctx.o Oa_obs.Event.Reclaim;
     if VP.chunk_full ctx.alloc_chunk then begin
+      I.obs_incr ctx.o Oa_obs.Event.Pool_push;
       VP.Plain.push mm.ready ctx.alloc_chunk;
       ctx.alloc_chunk <- VP.make_chunk mm.cfg.I.chunk_size
     end;
@@ -203,6 +210,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let retire ctx p =
     ctx.s_retires <- ctx.s_retires + 1;
+    I.obs_incr ctx.o Oa_obs.Event.Retire;
     let idx = Ptr.index (Ptr.unmark p) in
     R.write ctx.mm.flags.(idx) flag_retired;
     R.fence ();
@@ -215,8 +223,10 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
        ready pool), so there is no scan to run under pressure: releasing
        this thread's slot holds here would drop protection mid-operation.
        The retry loop picks up chunks as other threads release counts. *)
-    VP.refill ~arena:mm.arena ~ready:mm.ready ~chunk_size:mm.cfg.I.chunk_size
+    VP.refill ?obs:ctx.o ~arena:mm.arena ~ready:mm.ready
+      ~chunk_size:mm.cfg.I.chunk_size
       ~reclaim:(fun ~attempt:_ -> false)
+      ()
 
   let alloc ctx =
     if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;
@@ -231,6 +241,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let dealloc ctx p =
     if VP.chunk_full ctx.alloc_chunk then begin
+      I.obs_incr ctx.o Oa_obs.Event.Pool_push;
       VP.Plain.push ctx.mm.ready ctx.alloc_chunk;
       ctx.alloc_chunk <- VP.make_chunk ctx.mm.cfg.I.chunk_size
     end;

@@ -27,10 +27,10 @@ module Make (S : Oa_core.Smr_intf.S) = struct
     let rec pow2 n = if n >= target then n else pow2 (2 * n) in
     pow2 16
 
-  let create ~capacity ~expected_size cfg =
+  let create ?obs ~capacity ~expected_size cfg =
     let n_buckets = bucket_count ~expected_size in
     let arena = A.create ~capacity:(capacity + n_buckets) ~n_fields:L.n_fields in
-    let smr = S.create arena cfg in
+    let smr = S.create ?obs arena cfg in
     let list = L.on_arena arena smr in
     (* [on_arena] allocated one sentinel we use as bucket 0. *)
     let buckets =
