@@ -13,6 +13,14 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+# Schedule-exploration smoke run (docs/testing.md): the deliberately broken
+# HP scheme must be caught within the seed budget, and a real scheme must
+# survive the same adversary.  Both runs are sub-second.
+echo "== oa_cli check smoke"
+dune exec bin/oa_cli.exe -- check --scheme broken-hp --seeds 100 --quiet \
+  --expect-fail
+dune exec bin/oa_cli.exe -- check --scheme oa --seeds 25 --quiet
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt

@@ -2,6 +2,7 @@
 
    oa_cli figure <1..8>          regenerate one figure of the paper
    oa_cli run [options]          run a single custom experiment
+   oa_cli check [options]        explore schedules for SMR violations
    oa_cli schemes                list the available SMR schemes *)
 
 module E = Oa_harness.Experiment
@@ -262,6 +263,261 @@ let figure_cmd =
           OA_BENCH_REPEATS, OA_BENCH_THREADS, OA_BENCH_CSV).")
     Term.(const run $ n)
 
+(* --- check --- *)
+
+let check_cmd =
+  let module Sc = Oa_check.Scenario in
+  let module P = Oa_check.Policy in
+  let module Flt = Oa_check.Fault in
+  let module X = Oa_check.Explore in
+  let module L = Oa_harness.Lincheck in
+  let check_scheme_conv =
+    let parse s =
+      match Sc.scheme_of_name s with
+      | Some sch -> Ok sch
+      | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+    in
+    Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Sc.scheme_name s))
+  in
+  let structure =
+    Arg.(
+      value
+      & opt structure_conv Sc.default.Sc.structure
+      & info [ "structure"; "s" ] ~docv:"STRUCT"
+          ~doc:"Data structure: list, hash or skiplist.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt check_scheme_conv Sc.default.Sc.scheme
+      & info [ "scheme"; "m" ] ~docv:"SCHEME"
+          ~doc:
+            "SMR scheme to check: norecl, oa, hp, ebr, anchors, rc — or \
+             $(b,broken-hp), HP with its read-barrier publication removed, \
+             which the explorer must catch.")
+  in
+  let threads =
+    Arg.(
+      value
+      & opt int Sc.default.Sc.threads
+      & info [ "threads"; "t" ] ~doc:"Thread count.")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt int Sc.default.Sc.ops_per_thread
+      & info [ "ops-per-thread"; "n" ]
+          ~doc:
+            "Operations per thread (threads x ops + keys must stay within \
+             the 62-operation linearizability bound).")
+  in
+  let keys =
+    Arg.(
+      value
+      & opt int Sc.default.Sc.key_range
+      & info [ "keys"; "k" ] ~doc:"Key range: keys are drawn from 1..KEYS.")
+  in
+  let prefill =
+    Arg.(
+      value
+      & opt int Sc.default.Sc.prefill
+      & info [ "prefill"; "p" ]
+          ~doc:"Keys 1..PREFILL inserted before the measured run.")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt mix_conv Sc.default.Sc.mix
+      & info [ "mix" ] ~docv:"R/I/D" ~doc:"Operation mix, e.g. 20/40/40.")
+  in
+  let zipf =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:"Zipfian key skew in (0,1) instead of uniform keys.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~doc:"Seed budget: number of executions to explore.")
+  in
+  let seed0 =
+    Arg.(value & opt int 0 & info [ "seed0" ] ~doc:"First seed of the budget.")
+  in
+  let policy =
+    Arg.(
+      value & opt string "random"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Scheduling policy: $(b,random) (random walk over runnable \
+             threads), $(b,pct) (priority-based PCT sampler), or $(b,fair) \
+             (the default continuation, no reordering).")
+  in
+  let pct_depth =
+    Arg.(
+      value & opt int 3
+      & info [ "pct-depth" ] ~doc:"Priority change points for --policy pct.")
+  in
+  let faults =
+    Arg.(
+      value & opt string "crossing"
+      & info [ "faults" ] ~docv:"BATTERY"
+          ~doc:
+            "Fault battery: $(b,none), $(b,stall) (park a victim across a \
+             reclamation phase), $(b,crossing) (hold threads inside read \
+             windows until the phase probe ticks), $(b,casdelay) (widen \
+             read-to-CAS windows), or $(b,all).")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 200
+      & info [ "shrink-budget" ]
+          ~doc:"Replay budget for minimising a failing schedule; 0 disables.")
+  in
+  let expect_fail =
+    Arg.(
+      value & flag
+      & info [ "expect-fail" ]
+          ~doc:
+            "Invert the exit status: succeed only if a violation is found \
+             (for CI runs against deliberately broken schemes).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TOKEN"
+          ~doc:
+            "Skip exploration and re-execute the given replay token, \
+             reporting whether the failure reproduces.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-seed progress.")
+  in
+  let print_history history =
+    Format.printf "  history:@.";
+    List.iter
+      (fun (e : L.event) ->
+        Format.printf "    [%3d,%3d] t%d %s %d -> %b@." e.L.start_ts e.L.end_ts
+          e.L.tid
+          (match e.L.kind with
+          | L.Contains -> "contains"
+          | L.Insert -> "insert"
+          | L.Delete -> "delete")
+          e.L.key e.L.result)
+      history
+  in
+  let run structure scheme threads ops_per_thread key_range prefill mix theta
+      seeds seed0 policy pct_depth faults shrink_budget expect_fail replay
+      quiet =
+    let finish ~violation =
+      exit (if violation <> expect_fail then 1 else 0)
+    in
+    let sc =
+      {
+        Sc.structure;
+        scheme;
+        threads;
+        ops_per_thread;
+        key_range;
+        prefill;
+        mix;
+        theta;
+        seed = seed0;
+      }
+    in
+    match replay with
+    | Some token -> (
+        match Oa_check.Token.replay token with
+        | Error msg ->
+            Format.eprintf "oa_cli check: %s@." msg;
+            exit 2
+        | Ok (sc, outcome) -> (
+            match outcome.Sc.result with
+            | Ok () ->
+                Format.printf
+                  "replay of %s/%s seed=%d: no violation (%d scheduler \
+                   decisions)@."
+                  (E.structure_name sc.Sc.structure)
+                  (Sc.scheme_name sc.Sc.scheme)
+                  sc.Sc.seed outcome.Sc.steps;
+                finish ~violation:false
+            | Error f ->
+                Format.printf "replay of %s/%s seed=%d: %a@."
+                  (E.structure_name sc.Sc.structure)
+                  (Sc.scheme_name sc.Sc.scheme)
+                  sc.Sc.seed Sc.pp_failure_kind f.Sc.kind;
+                if not quiet then print_history f.Sc.history;
+                finish ~violation:true))
+    | None -> (
+        let policy =
+          match P.base_of_name ~pct_depth policy with
+          | Some p -> p
+          | None ->
+              Format.eprintf "oa_cli check: unknown policy %S@." policy;
+              exit 2
+        in
+        let faults =
+          match Flt.specs_of_name ~threads faults with
+          | Some f -> f
+          | None ->
+              Format.eprintf "oa_cli check: unknown fault battery %S@." faults;
+              exit 2
+        in
+        let progress seed ~failed =
+          if (not quiet) && (failed || (seed - seed0 + 1) mod 50 = 0) then
+            Format.printf "  seed %d: %s@." seed
+              (if failed then "VIOLATION" else "clean so far")
+        in
+        Format.printf "checking %s/%s: %d threads x %d ops, keys 1..%d, %a, \
+                       policy=%s, faults=%s, %d seeds from %d@."
+          (E.structure_name sc.Sc.structure)
+          (Sc.scheme_name sc.Sc.scheme)
+          threads ops_per_thread key_range Oa_workload.Op_mix.pp mix
+          (P.base_name policy)
+          (String.concat "+" (List.map Flt.name faults))
+          seeds seed0;
+        match
+          X.run ~progress ~policy ~faults ~seeds ~seed0 ~shrink_budget sc
+        with
+        | X.Clean { seeds_tried } ->
+            Format.printf "clean: no violation in %d seeded executions@."
+              seeds_tried;
+            finish ~violation:false
+        | X.Unreproducible { seed; token } ->
+            Format.eprintf
+              "oa_cli check: internal error: seed %d failed but its shrunk \
+               token did not reproduce:@.  %s@."
+              seed token;
+            exit 2
+        | X.Failed r ->
+            Format.printf "violation at seed %d (%d/%d seeds tried): %a@."
+              r.X.seed r.X.seeds_tried seeds Sc.pp_failure_kind r.X.kind;
+            Format.printf
+              "  schedule shrunk from %d to %d overrides (%d replays)@."
+              r.X.overrides_before
+              (match Oa_check.Token.decode r.X.token with
+              | Ok (_, ovs) -> List.length ovs
+              | Error _ -> -1)
+              r.X.shrink_replays;
+            if not quiet then print_history r.X.history;
+            Format.printf "  replay with:@.  oa_cli check --replay \
+                           '%s'@." r.X.token;
+            finish ~violation:true)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Systematically explore schedules and fault injections for SMR \
+          violations (non-linearizable histories, structural corruption, \
+          reclamation conservation breaches); shrink and emit a replay \
+          token on failure.")
+    Term.(
+      const run $ structure $ scheme $ threads $ ops $ keys $ prefill $ mix
+      $ zipf $ seeds $ seed0 $ policy $ pct_depth $ faults $ shrink_budget
+      $ expect_fail $ replay $ quiet)
+
 (* --- schemes --- *)
 
 let schemes_cmd =
@@ -280,4 +536,5 @@ let () =
         "Reproduction harness for 'Efficient Memory Management for \
          Lock-Free Data Structures with Optimistic Access' (SPAA 2015)."
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; schemes_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; check_cmd; schemes_cmd ]))

@@ -20,10 +20,11 @@ module CM = Oa_simrt.Cost_model
 let workers = 3
 let churn = 20_000
 let capacity = 2_600
+let seed = 5
 
 let run id =
   let backend =
-    Oa_runtime.Sim_backend.make ~seed:5 ~quantum:64 ~max_threads:8
+    Oa_runtime.Sim_backend.make ~seed ~quantum:64 ~max_threads:8
       CM.amd_opteron
   in
   let module R = (val backend) in
@@ -63,9 +64,18 @@ let run id =
         "completed %d churn ops; %d allocations through a %d-node arena \
          (%d recycled, %d phases)"
         (workers * churn * 2) st.I.allocs capacity st.I.recycled st.I.phases
-    with Oa_simrt.Sched.Thread_failure (_, I.Arena_exhausted) ->
-      "STARVED: allocation failed; reclamation was blocked by the stuck \
-       thread"
+    with
+    | Oa_simrt.Sched.Thread_failure (_, I.Arena_exhausted) ->
+        "STARVED: allocation failed; reclamation was blocked by the stuck \
+         thread"
+    | Oa_simrt.Sched.Cycle_limit_exceeded ->
+        (* The simulator's cycle budget ran out before the workers finished:
+           a livelock, not starvation.  The run is deterministic, so the
+           seed is a complete reproduction recipe. *)
+        Printf.sprintf
+          "LIVELOCK: simulator cycle limit exceeded; replay with seed %d \
+           (deterministic)"
+          seed
   in
   Printf.printf "%-8s %s\n%!" (Oa_smr.Schemes.id_name id) outcome
 

@@ -1,0 +1,88 @@
+(** The choice-point engine: installs a composed (faults ∘ policy) decision
+    function into a scheduler, numbers every decision with a global step
+    counter, and records the schedule both in full (for determinism checks)
+    and as sparse overrides against {!Policy.default_choice} (for replay
+    tokens and shrinking).
+
+    The step counter doubles as the {e global logical clock} for history
+    timestamps: under an adversarial policy the per-thread cycle clocks are
+    no longer mutually ordered (a policy may run one thread far ahead), so
+    linearizability checking must not use them — an operation's real-time
+    interval is the [(step at op start, step at op end)] pair instead,
+    which is a sound happened-before order because the simulator executes
+    exactly one thread between consecutive decisions. *)
+
+module Sched = Oa_simrt.Sched
+
+type mode =
+  | Drive of {
+      policy : Policy.spec;
+      faults : Fault.spec list;
+      probe : unit -> int;  (** reclamation-progress probe for injectors *)
+    }
+  | Replay of (int * int) list  (** (step, tid) overrides to re-apply *)
+
+type t = {
+  sched : Sched.t;
+  mutable step : int;
+  mutable prev : int;
+  mutable decisions_rev : int list;
+  mutable overrides_rev : (int * int) list;
+}
+
+let now t = t.step
+let decisions t = Array.of_list (List.rev t.decisions_rev)
+let overrides t = List.rev t.overrides_rev
+let uninstall t = Sched.set_policy t.sched None
+
+(** [install sched ~n mode] takes over [sched]'s choice point until
+    {!uninstall} (or a later [set_policy]).  Decisions start at step 0. *)
+let install sched ~n mode =
+  let t = { sched; step = 0; prev = -1; decisions_rev = []; overrides_rev = [] } in
+  let choose =
+    match mode with
+    | Drive { policy; faults; probe } ->
+        let base = Policy.make ~n policy in
+        let faults = List.map (Fault.start ~probe) faults in
+        fun rs ->
+          let allowed =
+            match faults with
+            | [] -> rs
+            | _ ->
+                (* Every injector's [veto] must run on every runnable (the
+                   calls update injector state), so no short-circuiting. *)
+                let vetoed r =
+                  List.fold_left
+                    (fun acc f -> Fault.veto f ~step:t.step r || acc)
+                    false faults
+                in
+                let a =
+                  Array.of_seq
+                    (Seq.filter (fun r -> not (vetoed r)) (Array.to_seq rs))
+                in
+                if Array.length a = 0 then rs else a
+          in
+          base ~prev:t.prev ~step:t.step allowed
+    | Replay ovs ->
+        let tbl = Hashtbl.create (List.length ovs) in
+        List.iter (fun (s, tid) -> Hashtbl.replace tbl s tid) ovs;
+        fun rs ->
+          let runnable tid =
+            Array.exists (fun (r : Sched.runnable) -> r.Sched.tid = tid) rs
+          in
+          (match Hashtbl.find_opt tbl t.step with
+          | Some tid when runnable tid -> tid
+          | _ -> Policy.default_choice ~prev:t.prev rs)
+  in
+  Sched.set_policy sched
+    (Some
+       (fun rs ->
+         let chosen = choose rs in
+         let default = Policy.default_choice ~prev:t.prev rs in
+         if chosen <> default then
+           t.overrides_rev <- (t.step, chosen) :: t.overrides_rev;
+         t.decisions_rev <- chosen :: t.decisions_rev;
+         t.prev <- chosen;
+         t.step <- t.step + 1;
+         chosen));
+  t

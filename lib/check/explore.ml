@@ -1,0 +1,78 @@
+(** The exploration driver: N seeded executions of one scenario under a
+    scheduling policy and fault battery, stopping at the first checked
+    failure, which is then shrunk and packaged as a replay token.
+
+    Each seed perturbs everything at once — the operation streams, the
+    policy's randomness, and the simulator's cost-noise — so consecutive
+    seeds are independent samples of the schedule space.  On failure the
+    recorded override list is minimised ({!Shrink.minimize}) and the final
+    token is re-verified by an actual replay before being reported: a
+    token that does not reproduce is a bug in this subsystem, and is
+    reported as such rather than handed to the user. *)
+
+type report = {
+  scenario : Scenario.t;  (** with the failing seed filled in *)
+  seed : int;
+  seeds_tried : int;
+  kind : Scenario.failure_kind;
+  history : Oa_harness.Lincheck.event list;
+  overrides_before : int;  (** override count before shrinking *)
+  token : string;  (** verified replay token *)
+  shrink_replays : int;
+}
+
+type result =
+  | Clean of { seeds_tried : int }
+  | Failed of report
+  | Unreproducible of { seed : int; token : string }
+      (** the shrunk schedule failed during minimisation but the final
+          token did not reproduce on a fresh replay — a determinism bug *)
+
+(** [run ?progress ~policy ~faults ~seeds ~seed0 ~shrink_budget sc] explores
+    [seeds] executions of [sc] with seeds [seed0, seed0+1, ...].  The
+    [sc.seed] field is overwritten per execution.  [progress] (if given) is
+    called after every seed with [(seed, failed)]. *)
+let run ?(progress = fun _ ~failed:_ -> ()) ~(policy : Policy.base)
+    ~(faults : Fault.spec list) ~seeds ~seed0 ~shrink_budget
+    (sc : Scenario.t) =
+  let rec go i =
+    if i >= seeds then Clean { seeds_tried = seeds }
+    else begin
+      let seed = seed0 + i in
+      let sc = { sc with Scenario.seed } in
+      let mode = Scenario.Drive { policy = { Policy.policy; seed }; faults } in
+      let outcome = Scenario.run ~mode sc in
+      match outcome.Scenario.result with
+      | Ok () ->
+          progress seed ~failed:false;
+          go (i + 1)
+      | Error failure ->
+          progress seed ~failed:true;
+          let ovs = outcome.Scenario.overrides in
+          let shrunk, shrink_replays =
+            if shrink_budget <= 0 then (ovs, 0)
+            else Shrink.minimize ~budget:shrink_budget sc ovs
+          in
+          let token = Token.encode sc shrunk in
+          (* Verify the token end to end: decode + replay must fail too. *)
+          let reproduces =
+            match Token.replay token with
+            | Ok (_, o) -> Result.is_error o.Scenario.result
+            | Error _ -> false
+          in
+          if not reproduces then Unreproducible { seed; token }
+          else
+            Failed
+              {
+                scenario = sc;
+                seed;
+                seeds_tried = i + 1;
+                kind = failure.Scenario.kind;
+                history = failure.Scenario.history;
+                overrides_before = List.length ovs;
+                token;
+                shrink_replays;
+              }
+    end
+  in
+  go 0

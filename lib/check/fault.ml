@@ -1,0 +1,144 @@
+(** Fault injectors: schedule transformers applied at scheduler choice
+    points, before the base policy picks.
+
+    An injector never schedules anything itself — it {e vetoes} threads,
+    shrinking the runnable set the policy chooses from, which is how the
+    classic SMR failure patterns are forced:
+
+    - {!Stall_across_phase} puts one victim to sleep until at least one
+      whole reclamation phase (an OA phase flip, or an HP/Anchors hazard
+      scan) has passed over it — the paper's stuck-thread adversary;
+    - {!Phase_crossing} holds whichever thread is suspended inside a read
+      window (between reading a shared pointer and acting on it) until the
+      reclamation-progress probe ticks, forcing phase flips to land inside
+      read windows — the stale-read adversary of Section 4;
+    - {!Cas_delay} holds threads that are about to execute a CAS, widening
+      the window between an operation's reads and its dependent CAS.
+
+    Progress is preserved by construction: if every runnable thread is
+    vetoed, the vetoes are ignored for that step, and each hold is bounded
+    by a step budget, so injectors can never livelock an execution. *)
+
+module Sched = Oa_simrt.Sched
+
+type spec =
+  | Stall_across_phase of { victim : int; after : int }
+      (** from decision step [after] on, hold [victim] until the phase
+          probe has advanced past the value it had when the hold began *)
+  | Phase_crossing of { hold : int }
+      (** rotate over threads suspended at a read or pending write: hold
+          each until the probe has ticked twice (a reclamation scan freed
+          something {e and} the churn continued past it, so freed slots
+          have had time to be recycled), or at most [hold] steps *)
+  | Cas_delay of { hold : int }
+      (** hold any thread suspended at a CAS for [hold] steps *)
+
+let name = function
+  | Stall_across_phase _ -> "stall"
+  | Phase_crossing _ -> "crossing"
+  | Cas_delay _ -> "casdelay"
+
+type state = {
+  spec : spec;
+  probe : unit -> int;
+  (* Stall_across_phase *)
+  mutable armed : bool;
+  mutable phase0 : int;
+  mutable released : bool;
+  (* Phase_crossing *)
+  mutable victim : int;  (* -1 = none *)
+  mutable last_victim : int;
+  mutable since : int;
+  (* Cas_delay: tid -> release step *)
+  releases : (int, int) Hashtbl.t;
+}
+
+let start ~probe spec =
+  {
+    spec;
+    probe;
+    armed = false;
+    phase0 = 0;
+    released = false;
+    victim = -1;
+    last_victim = -1;
+    since = 0;
+    releases = Hashtbl.create 8;
+  }
+
+(* Only a pending-write suspension is a useful hold point: a thread
+   suspended at a read has not fetched the value yet (Smem reads execute at
+   resume, so it resumes with fresh data), while a thread suspended at a
+   write already holds privately-read pointers — e.g. it is about to
+   publish a hazard for a pointer it read one choice point ago, the exact
+   window a missing publication barrier leaves unprotected. *)
+let holds_stale_reads = function Sched.Write -> true | _ -> false
+
+(** [veto st ~step r] — should thread [r] be withheld from the policy at
+    decision [step]?  Stateful: holds arm and expire as steps pass. *)
+let veto st ~step (r : Sched.runnable) =
+  match st.spec with
+  | Stall_across_phase { victim; after } ->
+      if st.released || r.Sched.tid <> victim || step < after then false
+      else begin
+        if not st.armed then begin
+          st.armed <- true;
+          st.phase0 <- st.probe ()
+        end;
+        if st.probe () > st.phase0 then begin
+          st.released <- true;
+          false
+        end
+        else true
+      end
+  | Phase_crossing { hold } ->
+      if st.victim = -1 then
+        if holds_stale_reads r.Sched.kind && r.Sched.tid <> st.last_victim then begin
+          st.victim <- r.Sched.tid;
+          st.phase0 <- st.probe ();
+          st.since <- step;
+          true
+        end
+        else false
+      else if r.Sched.tid <> st.victim then false
+      else if st.probe () > st.phase0 + 1 || step - st.since > hold then begin
+        st.last_victim <- st.victim;
+        st.victim <- -1;
+        false
+      end
+      else true
+  | Cas_delay { hold } -> (
+      match r.Sched.kind with
+      | Sched.Cas -> (
+          match Hashtbl.find_opt st.releases r.Sched.tid with
+          | Some release -> step < release
+          | None ->
+              Hashtbl.replace st.releases r.Sched.tid (step + hold);
+              true)
+      | _ ->
+          Hashtbl.remove st.releases r.Sched.tid;
+          false)
+
+(* Hold lengths calibrated on the broken-HP scheme: 120 decision steps is
+   long enough for the other threads to complete several delete + scan +
+   refill + re-link cycles over the victim's pointers, and short enough
+   that one run exercises several distinct holds. *)
+let default_hold = 120
+
+(** The stock adversarial battery used by [oa_cli check --faults all]:
+    phase-crossing holds plus CAS delays, plus a phase-long stall of
+    thread 0 early in the run. *)
+let all_specs ~threads:_ =
+  [
+    Stall_across_phase { victim = 0; after = 50 };
+    Phase_crossing { hold = default_hold };
+    Cas_delay { hold = default_hold };
+  ]
+
+let specs_of_name ~threads = function
+  | "none" -> Some []
+  | "stall" -> Some [ Stall_across_phase { victim = 0; after = 50 } ]
+  | "crossing" -> Some [ Phase_crossing { hold = default_hold } ]
+  | "casdelay" -> Some [ Cas_delay { hold = default_hold } ]
+  | "all" -> Some (all_specs ~threads)
+  | _ -> None

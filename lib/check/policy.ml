@@ -1,0 +1,94 @@
+(** Scheduling policies for systematic schedule exploration.
+
+    A policy decides, at every scheduler choice point, which runnable
+    thread runs next (see {!Oa_simrt.Sched.set_policy}).  All policies here
+    are deterministic functions of their seed, so a (scenario, policy,
+    seed) triple names one exact execution.
+
+    The {e default continuation} is the distinguished deterministic policy
+    used as the baseline for schedule encoding: keep running the previous
+    thread while it is runnable, otherwise take the runnable thread with
+    the smallest clock (ties to the smallest tid).  Any execution can then
+    be written as a sparse list of {e overrides} — the steps at which the
+    actual choice deviated from the default — which is what replay tokens
+    carry and what the shrinker minimises. *)
+
+module Sched = Oa_simrt.Sched
+module SM = Oa_util.Splitmix
+
+type base =
+  | Fair  (** the default continuation itself: depth-first, minimal context
+              switching — finds nothing interesting, useful as a control *)
+  | Random_walk  (** uniform choice among runnable threads at every step *)
+  | Pct of { depth : int; horizon : int }
+      (** PCT (Burckhardt et al., ASPLOS 2010): random thread priorities,
+          highest-priority runnable runs; at [depth - 1] random change
+          points (steps drawn below [horizon]) the running thread's
+          priority drops below everyone's, guaranteeing schedules of
+          preemption depth [depth] with known probability *)
+
+type spec = { policy : base; seed : int }
+
+let base_name = function
+  | Fair -> "fair"
+  | Random_walk -> "random"
+  | Pct { depth; _ } -> Printf.sprintf "pct%d" depth
+
+let base_of_name ?(pct_depth = 3) ?(pct_horizon = 20_000) s =
+  match String.lowercase_ascii s with
+  | "fair" -> Some Fair
+  | "random" | "random-walk" -> Some Random_walk
+  | "pct" -> Some (Pct { depth = pct_depth; horizon = pct_horizon })
+  | _ -> None
+
+(* The default continuation.  [prev] is the tid that ran last (-1 at the
+   start of a run). *)
+let default_choice ~prev (rs : Sched.runnable array) =
+  let n = Array.length rs in
+  let continue_prev = ref (-1) in
+  let best = ref rs.(0).Sched.tid and best_clock = ref rs.(0).Sched.clock in
+  for i = 0 to n - 1 do
+    let r = rs.(i) in
+    if r.Sched.tid = prev then continue_prev := prev;
+    if r.Sched.clock < !best_clock then begin
+      best := r.Sched.tid;
+      best_clock := r.Sched.clock
+    end
+  done;
+  if !continue_prev >= 0 then !continue_prev else !best
+
+(** [make ~n spec] instantiates the policy for an [n]-thread run as a
+    stateful closure over (previous tid, decision step, runnable set). *)
+let make ~n spec : prev:int -> step:int -> Sched.runnable array -> int =
+  match spec.policy with
+  | Fair -> fun ~prev ~step:_ rs -> default_choice ~prev rs
+  | Random_walk ->
+      let rng = SM.create (spec.seed lxor 0x5eedcafe) in
+      fun ~prev:_ ~step:_ rs -> rs.(SM.below rng (Array.length rs)).Sched.tid
+  | Pct { depth; horizon } ->
+      let rng = SM.create (spec.seed lxor 0x9c7cafe) in
+      (* Random distinct base priorities: a shuffled 1..n (higher runs
+         first).  Change points demote to ever-lower negatives. *)
+      let prio = Array.init n (fun i -> i + 1) in
+      for i = n - 1 downto 1 do
+        let j = SM.below rng (i + 1) in
+        let tmp = prio.(i) in
+        prio.(i) <- prio.(j);
+        prio.(j) <- tmp
+      done;
+      let change_points = Hashtbl.create 8 in
+      for _ = 1 to max 0 (depth - 1) do
+        Hashtbl.replace change_points (SM.below rng horizon) ()
+      done;
+      let next_low = ref 0 in
+      fun ~prev:_ ~step rs ->
+        let best = ref rs.(0).Sched.tid in
+        Array.iter
+          (fun (r : Sched.runnable) ->
+            if prio.(r.Sched.tid) > prio.(!best) then best := r.Sched.tid)
+          rs;
+        if Hashtbl.mem change_points step then begin
+          decr next_low;
+          prio.(!best) <- !next_low
+        end;
+        !best

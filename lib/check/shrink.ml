@@ -1,0 +1,56 @@
+(** Schedule shrinking: given a failing execution's sparse override list,
+    find a (locally) minimal subset that still fails.
+
+    This is ddmin-style greedy block removal: try dropping halves, then
+    quarters, then smaller blocks, down to single overrides, re-running the
+    scenario in {!Scenario.Replay} mode after each removal and keeping the
+    removal whenever the failure persists.  Any failure kind counts — a
+    shrunk schedule is allowed to fail differently from the original (the
+    point is a small reproducer, not the same stack).
+
+    Replay is total: an override whose step never arrives or whose thread
+    is not runnable is silently skipped, so every subset of a valid
+    override list is itself a valid schedule.  That property is what makes
+    naive subset search sound here. *)
+
+let fails sc ovs =
+  match (Scenario.run ~mode:(Scenario.Replay ovs) sc).Scenario.result with
+  | Ok () -> false
+  | Error _ -> true
+
+(** [minimize ?budget sc ovs] assumes [fails sc ovs] and returns
+    [(ovs', replays)] with [ovs'] a failing subset of [ovs] (possibly
+    [ovs] itself) and [replays] the number of re-executions spent.
+    [budget] (default 200) bounds the re-executions. *)
+let minimize ?(budget = 200) sc ovs =
+  let spent = ref 0 in
+  let try_fails ovs =
+    if !spent >= budget then false
+    else begin
+      incr spent;
+      fails sc ovs
+    end
+  in
+  let drop_block l i len =
+    List.filteri (fun j _ -> j < i || j >= i + len) l
+  in
+  let current = ref ovs in
+  let block = ref (max 1 (List.length ovs / 2)) in
+  while !block >= 1 && !spent < budget do
+    let progress = ref true in
+    while !progress && !spent < budget do
+      progress := false;
+      let n = List.length !current in
+      let i = ref 0 in
+      while !i < n && not !progress && !spent < budget do
+        let candidate = drop_block !current !i !block in
+        if List.length candidate < n && try_fails candidate then begin
+          current := candidate;
+          progress := true
+        end
+        else i := !i + !block
+      done
+    done;
+    block := (if !block = 1 then 0 else max 1 (!block / 2))
+  done;
+  (!current, !spent)

@@ -1,0 +1,136 @@
+(** Replay tokens: a failing execution, printable on one line.
+
+    A token names everything needed to reproduce an execution exactly:
+    the scenario parameters (structure, scheme, thread/op counts, key
+    range, prefill, mix, seed) and the sparse schedule — the decision
+    steps at which the schedule deviated from the default continuation,
+    as [step.tid] pairs.  Replaying a token re-runs the scenario with
+    those overrides pinned; everything else (operation choices, keys,
+    prefill) is already determined by the seed.
+
+    Format (version-prefixed, [:]-separated):
+    {v oacheck1:list:broken-hp:t3:o18:k6:p6:m20-40-40:z0.90:s17:41.2,97.0 v}
+    ([z-] when the key distribution is uniform.)  The final field is the
+    override list and may be empty. *)
+
+let version = "oacheck1"
+
+let structure_name = function
+  | Oa_harness.Experiment.Linked_list -> "list"
+  | Oa_harness.Experiment.Hash_table -> "hash"
+  | Oa_harness.Experiment.Skip_list -> "skiplist"
+
+let structure_of_name = function
+  | "list" -> Some Oa_harness.Experiment.Linked_list
+  | "hash" -> Some Oa_harness.Experiment.Hash_table
+  | "skiplist" -> Some Oa_harness.Experiment.Skip_list
+  | _ -> None
+
+let encode (sc : Scenario.t) (overrides : (int * int) list) =
+  let m = sc.Scenario.mix in
+  Printf.sprintf "%s:%s:%s:t%d:o%d:k%d:p%d:m%d-%d-%d:%s:s%d:%s" version
+    (structure_name sc.Scenario.structure)
+    (Scenario.scheme_name sc.Scenario.scheme)
+    sc.Scenario.threads sc.Scenario.ops_per_thread sc.Scenario.key_range
+    sc.Scenario.prefill m.Oa_workload.Op_mix.read_pct
+    m.Oa_workload.Op_mix.insert_pct m.Oa_workload.Op_mix.delete_pct
+    (match sc.Scenario.theta with
+    | None -> "z-"
+    | Some th -> Printf.sprintf "z%.2f" th)
+    sc.Scenario.seed
+    (String.concat ","
+       (List.map (fun (s, tid) -> Printf.sprintf "%d.%d" s tid) overrides))
+
+let decode token =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let int_field ~tag s =
+    let p = String.length tag in
+    if String.length s > p && String.sub s 0 p = tag then
+      int_of_string_opt (String.sub s p (String.length s - p))
+    else None
+  in
+  match String.split_on_char ':' token with
+  | [ v; st; sch; t; o; k; p; m; z; s; ovs ] when v = version -> (
+      let mix =
+        match String.split_on_char '-' m with
+        | [ mr; mi; md ] when String.length mr > 1 && mr.[0] = 'm' -> (
+            match
+              ( int_of_string_opt (String.sub mr 1 (String.length mr - 1)),
+                int_of_string_opt mi,
+                int_of_string_opt md )
+            with
+            | Some r, Some i, Some d -> (
+                try Some (Oa_workload.Op_mix.v ~read_pct:r ~insert_pct:i ~delete_pct:d)
+                with Invalid_argument _ -> None)
+            | _ -> None)
+        | _ -> None
+      in
+      let theta =
+        if z = "z-" then Some None
+        else if String.length z > 1 && z.[0] = 'z' then
+          match float_of_string_opt (String.sub z 1 (String.length z - 1)) with
+          | Some th when th > 0.0 && th < 1.0 -> Some (Some th)
+          | _ -> None
+        else None
+      in
+      let overrides =
+        if ovs = "" then Some []
+        else
+          let parse_pair acc pair =
+            match (acc, String.split_on_char '.' pair) with
+            | Some acc, [ a; b ] -> (
+                match (int_of_string_opt a, int_of_string_opt b) with
+                | Some s, Some tid when s >= 0 && tid >= 0 ->
+                    Some ((s, tid) :: acc)
+                | _ -> None)
+            | _ -> None
+          in
+          Option.map List.rev
+            (List.fold_left parse_pair (Some []) (String.split_on_char ',' ovs))
+      in
+      match
+        ( structure_of_name st,
+          Scenario.scheme_of_name sch,
+          int_field ~tag:"t" t,
+          int_field ~tag:"o" o,
+          int_field ~tag:"k" k,
+          int_field ~tag:"p" p,
+          mix,
+          theta,
+          int_field ~tag:"s" s,
+          overrides )
+      with
+      | ( Some structure,
+          Some scheme,
+          Some threads,
+          Some ops_per_thread,
+          Some key_range,
+          Some prefill,
+          Some mix,
+          Some theta,
+          Some seed,
+          Some overrides ) ->
+          Ok
+            ( {
+                Scenario.structure;
+                scheme;
+                threads;
+                ops_per_thread;
+                key_range;
+                prefill;
+                mix;
+                theta;
+                seed;
+              },
+              overrides )
+      | _ -> fail "replay token %S: malformed field" token)
+  | v :: _ when v <> version ->
+      fail "replay token %S: unknown version (expected %s)" token version
+  | _ -> fail "replay token %S: expected 11 ':'-separated fields" token
+
+(** [replay token] decodes and re-executes the token's scenario with its
+    overrides pinned, returning the outcome. *)
+let replay token =
+  Result.map
+    (fun (sc, ovs) -> (sc, Scenario.run ~mode:(Scenario.Replay ovs) sc))
+    (decode token)

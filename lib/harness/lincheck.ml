@@ -49,13 +49,21 @@ let apply state op =
       else if mem then None
       else Some state
 
+let max_ops = 62
+
 (** [check ?initial history] decides linearizability with respect to an
     integer set starting as [initial] (default empty).
-    @raise Invalid_argument on histories longer than 62 operations. *)
+    @raise Invalid_argument on histories longer than {!max_ops} operations
+    (the linearized set must fit a 63-bit immediate bitmask). *)
 let check ?(initial = []) history =
   let ops = Array.of_list history in
   let n = Array.length ops in
-  if n > 62 then invalid_arg "Lincheck.check: history too large";
+  if n > max_ops then
+    invalid_arg
+      (Printf.sprintf
+         "Lincheck.check: history has %d operations; the bitmask checker \
+          supports at most %d"
+         n max_ops);
   if n = 0 then true
   else begin
     let full = (1 lsl n) - 1 in

@@ -44,6 +44,22 @@ let register = function
 let attach_trace t f =
   match t with Disabled -> () | Enabled s -> s.trace_source <- Some f
 
+(** [total t ev] is the current sum of [ev]'s counter over all registered
+    recorders — a cheap point probe, no snapshot allocation.  Exact at
+    quiescence; on the (single-OS-thread) simulated backend it is also
+    exact mid-run, which lets schedule-exploration fault injectors poll
+    reclamation progress (phase flips, hazard scans) at every scheduler
+    choice point.  On the real backend a mid-run call is a racy
+    approximation. *)
+let total t ev =
+  match t with
+  | Disabled -> 0
+  | Enabled s ->
+      Mutex.lock s.lock;
+      let recorders = s.recorders in
+      Mutex.unlock s.lock;
+      List.fold_left (fun acc r -> acc + Recorder.get r ev) 0 recorders
+
 (** Merge all registered recorders (and the attached trace source, if any)
     into one snapshot.  Call at quiescence — after [par_run] has joined —
     so that reading other threads' recorders is race-free. *)

@@ -3,11 +3,11 @@
 
 open Oa_simrt
 
-let make ?(seed = 0) ?(quantum = 0) ?(max_threads = 128) ?trace cost_model :
-    (module Runtime_intf.S) =
+let of_sched ?(max_threads = 128) ?trace sched0 : (module Runtime_intf.S) =
   (module struct
     let name = "sim"
-    let sched = Sched.create ~seed ~quantum cost_model
+    let sched = sched0
+    let cost_model = Sched.cost_model sched
 
     let () =
       match trace with
@@ -55,3 +55,6 @@ let make ?(seed = 0) ?(quantum = 0) ?(max_threads = 128) ?trace cost_model :
     let max_threads = max_threads
     let stall c = if Sched.tid sched >= 0 then Sched.stall sched c
   end)
+
+let make ?(seed = 0) ?(quantum = 0) ?max_threads ?trace cost_model =
+  of_sched ?max_threads ?trace (Sched.create ~seed ~quantum cost_model)

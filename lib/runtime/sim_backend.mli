@@ -22,3 +22,14 @@ val make :
     sizes the per-thread caches; [trace] installs a ring-buffer trace as
     the scheduler's switch hook, recording every context switch (consumed
     by [oa_cli --trace-events] via the metrics sink). *)
+
+val of_sched :
+  ?max_threads:int ->
+  ?trace:Oa_simrt.Trace.t ->
+  Oa_simrt.Sched.t ->
+  (module Runtime_intf.S)
+(** [of_sched sched] is {!make} over a caller-owned scheduler, keeping the
+    scheduler handle visible so the caller can install scheduling policies
+    ({!Oa_simrt.Sched.set_policy}) while the backend runs — the hook the
+    [Oa_check] subsystem builds on.  The backend takes over [sched]'s
+    switch hook when [trace] is given. *)

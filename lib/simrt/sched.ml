@@ -9,6 +9,10 @@ type thread_state =
   | Suspended of (unit, unit) continuation
   | Finished
 
+type yield_kind = Start | Read | Write | Cas | Fence | Stalled | Other
+
+type runnable = { tid : int; clock : int; kind : yield_kind }
+
 type t = {
   cm : Cost_model.t;
   quantum : int;
@@ -18,12 +22,15 @@ type t = {
   mutable clocks : int array;
   mutable last_yield : int array;
   mutable states : thread_state array;
+  mutable kinds : yield_kind array;
+  mutable pending_kind : yield_kind;
   mutable current : int;
   mutable live : int;
   mutable total : int;
   mutable span : int;
   mutable running : bool;
   mutable switch_hook : (tid:int -> clock:int -> unit) option;
+  mutable policy : (runnable array -> int) option;
 }
 
 exception Thread_failure of int * exn
@@ -42,15 +49,20 @@ let create ?(seed = 0) ?(quantum = 0) ?(max_cycles = 2_000_000_000_000) cm =
     clocks = [||];
     last_yield = [||];
     states = [||];
+    kinds = [||];
+    pending_kind = Other;
     current = -1;
     live = 0;
     total = 0;
     span = 0;
     running = false;
     switch_hook = None;
+    policy = None;
   }
 
 let set_switch_hook t f = t.switch_hook <- Some f
+let set_policy t p = t.policy <- p
+let note_yield t k = t.pending_kind <- k
 
 let cost_model t = t.cm
 let tid t = t.current
@@ -78,6 +90,8 @@ let charge t c =
 
 let force_yield t =
   t.last_yield.(t.current) <- t.clocks.(t.current);
+  t.kinds.(t.current) <- t.pending_kind;
+  t.pending_kind <- Other;
   perform Yield
 
 let maybe_yield t =
@@ -88,11 +102,12 @@ let stall t c =
   (* The stalled time is not "work": it extends the thread's clock but not
      the machine-wide total, so it models a descheduled thread. *)
   t.clocks.(t.current) <- t.clocks.(t.current) + c;
+  note_yield t Stalled;
   force_yield t
 
 (* Pick the runnable thread with the smallest clock; break ties randomly so
    that different seeds explore different interleavings. *)
-let pick t =
+let pick_min_clock t =
   let best = ref (-1) and best_clock = ref max_int and ties = ref 0 in
   for i = 0 to t.n - 1 do
     match t.states.(i) with
@@ -109,6 +124,38 @@ let pick t =
   done;
   !best
 
+let runnable_set t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    match t.states.(i) with
+    | Finished | Running -> ()
+    | Not_started | Suspended _ ->
+        acc := { tid = i; clock = t.clocks.(i); kind = t.kinds.(i) } :: !acc
+  done;
+  Array.of_list !acc
+
+let is_runnable t i =
+  i >= 0 && i < t.n
+  && match t.states.(i) with Not_started | Suspended _ -> true | _ -> false
+
+(* The scheduler's choice point.  With no policy installed, the default
+   smallest-clock rule preserves the timing semantics (and the seed's
+   tie-breaking).  A policy may pick ANY runnable thread, trading timing
+   fidelity for schedule control — used by Oa_check for systematic
+   exploration. *)
+let pick t =
+  match t.policy with
+  | None -> pick_min_clock t
+  | Some f ->
+      let rs = runnable_set t in
+      if Array.length rs = 0 then -1
+      else begin
+        let i = f rs in
+        if not (is_runnable t i) then
+          invalid_arg "Sched: policy chose a non-runnable thread";
+        i
+      end
+
 let run t ~n f =
   if t.running then invalid_arg "Sched.run: scheduler already running";
   if n <= 0 then invalid_arg "Sched.run: n must be positive";
@@ -119,6 +166,8 @@ let run t ~n f =
   t.clocks <- Array.init n (fun _ -> next_rng t land 15);
   t.last_yield <- Array.make n 0;
   t.states <- Array.make n Not_started;
+  t.kinds <- Array.make n Start;
+  t.pending_kind <- Other;
   t.live <- n;
   let handler =
     {

@@ -79,3 +79,45 @@ val set_switch_hook : t -> (tid:int -> clock:int -> unit) -> unit
 (** Install a callback fired whenever the scheduler resumes a different
     thread than the one that last ran; used with {!Trace} to record
     interleavings. *)
+
+(** {2 Scheduling policies (the exposed choice point)}
+
+    Without a policy, the scheduler always resumes the runnable thread with
+    the smallest clock, breaking ties with the seed — the timing-faithful
+    rule used for benchmarking.  A {e policy} takes over the choice point
+    entirely: at every scheduling decision it receives the full runnable
+    set and may pick {e any} member, which is what systematic concurrency
+    testing ([Oa_check]) needs to drive executions into rare reclamation
+    races.  Timing outputs ({!makespan}, {!elapsed_seconds}) are not
+    meaningful under an adversarial policy. *)
+
+type yield_kind =
+  | Start  (** thread has not run yet *)
+  | Read  (** suspended just before completing a shared read *)
+  | Write  (** suspended just before a shared write lands *)
+  | Cas  (** suspended just before an atomic CAS/FAA executes *)
+  | Fence  (** suspended at a full fence *)
+  | Stalled  (** descheduled via {!stall} *)
+  | Other  (** plain preemption (quantum expiry, local work) *)
+(** What a suspended thread was about to do when it yielded.  Labels are
+    exact when [quantum = 0] (every shared access is a scheduling point);
+    with batching they are best-effort.  Fault injectors use them to hold
+    threads inside maximally racy windows, e.g. between reading a pointer
+    and publishing its hazard slot. *)
+
+type runnable = { tid : int; clock : int; kind : yield_kind }
+(** One runnable thread as presented to a policy: its id, cycle clock and
+    the kind of synchronisation point it is suspended at. *)
+
+val set_policy : t -> (runnable array -> int) option -> unit
+(** [set_policy t (Some f)] routes every scheduling decision through [f]:
+    it receives the runnable set in ascending [tid] order (never empty) and
+    must return the [tid] of one of its members.
+    [set_policy t None] restores the default smallest-clock rule.
+    @raise Invalid_argument from within {!run} if the policy returns a
+    thread that is not runnable. *)
+
+val note_yield : t -> yield_kind -> unit
+(** [note_yield t k] labels the current thread's {e next} yield with [k];
+    called by {!Smem} immediately before each potentially-yielding access.
+    The label resets to {!Other} after every yield. *)

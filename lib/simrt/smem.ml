@@ -85,6 +85,7 @@ let do_write_bookkeeping t tid line =
 let read_line t line =
   let tid = Sched.tid t.sched in
   if tid >= 0 then begin
+    Sched.note_yield t.sched Sched.Read;
     Sched.charge t.sched (t.cm.Cost_model.access_overhead + read_cost t tid line);
     Sched.maybe_yield t.sched;
     refresh_cache t tid line
@@ -107,6 +108,7 @@ let read_own t c =
     let ver = t.version.(c.line) in
     let cost = if c.own_ver = ver then 1 else t.cm.Cost_model.read_miss in
     c.own_ver <- ver;
+    Sched.note_yield t.sched Sched.Read;
     Sched.charge t.sched cost;
     Sched.maybe_yield t.sched
   end;
@@ -115,6 +117,7 @@ let read_own t c =
 let write_line t line =
   let tid = Sched.tid t.sched in
   if tid >= 0 then begin
+    Sched.note_yield t.sched Sched.Write;
     Sched.charge t.sched (t.cm.Cost_model.access_overhead + write_cost t tid line);
     Sched.maybe_yield t.sched;
     do_write_bookkeeping t tid line
@@ -131,6 +134,7 @@ let write t c v =
 let cas_line t line =
   let tid = Sched.tid t.sched in
   if tid >= 0 then begin
+    Sched.note_yield t.sched Sched.Cas;
     Sched.charge t.sched
       (t.cm.Cost_model.access_overhead
       + write_cost t tid line
@@ -156,6 +160,7 @@ let faa t c d =
 let fence t =
   let tid = Sched.tid t.sched in
   if tid >= 0 then begin
+    Sched.note_yield t.sched Sched.Fence;
     Sched.charge t.sched t.cm.Cost_model.fence;
     Sched.force_yield t.sched
   end

@@ -50,6 +50,20 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let name = "HP"
 
+  (* Test-only fault for the Oa_check explorer: remove the read barrier's
+     publication entirely — [read_ptr] returns the raw read and neither
+     publishes a hazard slot, fences, nor validates.  Traversals then run
+     unprotected for their whole duration, so a concurrent scan is free to
+     recycle any node a reader is holding, and the reader continues through
+     rewritten memory (merely skipping the validation re-read is not
+     enough on the sequentially-consistent simulator: the one-step-late
+     publication still protects the node for the rest of the operation,
+     and the single-step window it leaves is healed by the structures' own
+     re-validation).  The flag is per functor application (each simulated
+     backend instantiates its own copy), so setting it in one checking
+     scenario cannot leak into another. *)
+  let unsafe_skip_publication = ref false
+
   let create ?(obs = Oa_obs.Sink.disabled) arena cfg =
     { arena; cfg; ready = VP.Plain.create (); registry = R.rcell []; obs }
 
@@ -102,7 +116,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         if v' = v then v else protect v'
       end
     in
-    protect (R.read cell)
+    let v = R.read cell in
+    if !unsafe_skip_publication then v else protect v
 
   let read_data _ cell = R.read cell
 

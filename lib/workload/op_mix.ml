@@ -7,8 +7,16 @@
 type t = { read_pct : int; insert_pct : int; delete_pct : int }
 
 let v ~read_pct ~insert_pct ~delete_pct =
+  if read_pct < 0 || insert_pct < 0 || delete_pct < 0 then
+    invalid_arg
+      (Printf.sprintf "Op_mix.v: negative percentage in mix %d/%d/%d" read_pct
+         insert_pct delete_pct);
   if read_pct + insert_pct + delete_pct <> 100 then
-    invalid_arg "Op_mix.v: percentages must sum to 100";
+    invalid_arg
+      (Printf.sprintf
+         "Op_mix.v: percentages must sum to 100; mix %d/%d/%d sums to %d"
+         read_pct insert_pct delete_pct
+         (read_pct + insert_pct + delete_pct));
   { read_pct; insert_pct; delete_pct }
 
 (** 80% reads, 10% inserts, 10% deletes — Figures 1-6. *)

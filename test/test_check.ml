@@ -1,0 +1,243 @@
+(* Tests for the Oa_check explorer: policy determinism, replay fidelity,
+   token round-trips, shrinker soundness, and the end-to-end guarantees —
+   the deliberately broken HP scheme is caught within a bounded seed
+   budget while every real scheme stays clean under the same budget. *)
+
+module Sc = Oa_check.Scenario
+module P = Oa_check.Policy
+module F = Oa_check.Fault
+module X = Oa_check.Explore
+module T = Oa_check.Token
+module Schemes = Oa_smr.Schemes
+
+let drive ?(policy = P.Random_walk) ?(faults = []) ?(seed = 7) sc =
+  Sc.run ~mode:(Sc.Drive { policy = { P.policy; seed }; faults }) sc
+
+let adversarial = F.specs_of_name ~threads:3 "crossing" |> Option.get
+
+(* --- scheduling policies --- *)
+
+let test_policy_determinism () =
+  (* Same scenario, same policy, same seed: bit-identical decision traces
+     and the same verdict — the whole subsystem's replay story rests on
+     this. *)
+  List.iter
+    (fun policy ->
+      let a = drive ~policy ~faults:adversarial Sc.default in
+      let b = drive ~policy ~faults:adversarial Sc.default in
+      Alcotest.(check (array int))
+        (P.base_name policy ^ " decisions")
+        a.Sc.decisions b.Sc.decisions;
+      Alcotest.(check bool)
+        (P.base_name policy ^ " verdict")
+        (Result.is_ok a.Sc.result) (Result.is_ok b.Sc.result))
+    [ P.Fair; P.Random_walk; P.Pct { depth = 3; horizon = 20_000 } ]
+
+let test_policy_seed_matters () =
+  (* Different policy seeds should explore different schedules. *)
+  let a = drive ~seed:1 Sc.default in
+  let b = drive ~seed:2 Sc.default in
+  Alcotest.(check bool)
+    "different seeds diverge" false
+    (a.Sc.decisions = b.Sc.decisions)
+
+let test_fair_is_default () =
+  (* The fair policy is exactly the default continuation, so driving with
+     it records no overrides: replay tokens from fair runs are empty. *)
+  let o = drive ~policy:P.Fair Sc.default in
+  Alcotest.(check int) "no overrides" 0 (List.length o.Sc.overrides)
+
+let test_replay_reproduces_drive () =
+  (* Replaying a drive's recorded override list reproduces its decision
+     trace exactly, adversarial policy and faults included. *)
+  let a = drive ~faults:adversarial ~seed:11 Sc.default in
+  let b = Sc.run ~mode:(Sc.Replay a.Sc.overrides) Sc.default in
+  Alcotest.(check (array int)) "replayed decisions" a.Sc.decisions b.Sc.decisions;
+  Alcotest.(check int) "replayed steps" a.Sc.steps b.Sc.steps
+
+(* --- scenario validation --- *)
+
+let test_scenario_bounds () =
+  let too_big = { Sc.default with Sc.ops_per_thread = 21 } in
+  Alcotest.check_raises "62-op bound"
+    (Invalid_argument
+       "Oa_check.Scenario: 3 threads x 21 ops + 2 audit reads exceeds the \
+        62-operation Lincheck bound")
+    (fun () -> ignore (drive too_big));
+  let bad_prefill = { Sc.default with Sc.prefill = 3 } in
+  Alcotest.check_raises "prefill bound"
+    (Invalid_argument "Oa_check.Scenario: prefill exceeds key_range")
+    (fun () -> ignore (drive bad_prefill))
+
+(* --- replay tokens --- *)
+
+let test_token_roundtrip () =
+  let sc =
+    {
+      Sc.default with
+      Sc.scheme = Sc.Broken_hp;
+      theta = Some 0.9;
+      seed = 42;
+    }
+  in
+  let ovs = [ (3, 1); (97, 0); (1024, 2) ] in
+  let token = T.encode sc ovs in
+  match T.decode token with
+  | Error m -> Alcotest.failf "decode failed: %s" m
+  | Ok (sc', ovs') ->
+      Alcotest.(check bool) "scenario round-trips" true (sc = sc');
+      Alcotest.(check (list (pair int int))) "overrides round-trip" ovs ovs'
+
+let test_token_uniform_roundtrip () =
+  let token = T.encode Sc.default [] in
+  match T.decode token with
+  | Error m -> Alcotest.failf "decode failed: %s" m
+  | Ok (sc', ovs') ->
+      Alcotest.(check bool) "default round-trips" true (Sc.default = sc');
+      Alcotest.(check (list (pair int int))) "empty overrides" [] ovs'
+
+let test_token_rejects_garbage () =
+  let is_error t = Result.is_error (T.decode t) in
+  List.iter
+    (fun t -> Alcotest.(check bool) t true (is_error t))
+    [
+      "garbage";
+      "oacheck9:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:";
+      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0";
+      "oacheck1:pile:oa:t3:o20:k2:p2:m20-40-40:z-:s0:";
+      "oacheck1:list:nope:t3:o20:k2:p2:m20-40-40:z-:s0:";
+      "oacheck1:list:oa:tx:o20:k2:p2:m20-40-40:z-:s0:";
+      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-41:z-:s0:";
+      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z1.50:s0:";
+      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:12.0,boom";
+      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:-3.0";
+    ]
+
+(* --- the end-to-end guarantees --- *)
+
+let find_broken_hp =
+  (* Shared by the detection and shrinking tests; memoised so the suite
+     explores only once. *)
+  lazy
+    (let sc = { Sc.default with Sc.scheme = Sc.Broken_hp } in
+     X.run ~policy:P.Random_walk ~faults:adversarial ~seeds:100 ~seed0:0
+       ~shrink_budget:150 sc)
+
+let test_broken_hp_is_caught () =
+  match Lazy.force find_broken_hp with
+  | X.Clean _ -> Alcotest.fail "broken HP survived 100 seeds"
+  | X.Unreproducible { token; _ } ->
+      Alcotest.failf "shrunk token did not reproduce: %s" token
+  | X.Failed r ->
+      Alcotest.(check bool)
+        "found within budget" true
+        (r.X.seeds_tried >= 1 && r.X.seeds_tried <= 100);
+      Alcotest.(check bool)
+        "history non-empty" true
+        (List.length r.X.history > 0)
+
+let test_shrunk_token_replays () =
+  match Lazy.force find_broken_hp with
+  | X.Failed r -> (
+      (* The reported token must reproduce the failure, twice (replay is
+         deterministic), and be no larger than the un-shrunk schedule. *)
+      let replay_fails () =
+        match T.replay r.X.token with
+        | Ok (_, o) -> Result.is_error o.Sc.result
+        | Error m -> Alcotest.failf "token decode failed: %s" m
+      in
+      Alcotest.(check bool) "replay fails" true (replay_fails ());
+      Alcotest.(check bool) "replay fails again" true (replay_fails ());
+      match T.decode r.X.token with
+      | Error m -> Alcotest.failf "decode failed: %s" m
+      | Ok (_, ovs) ->
+          Alcotest.(check bool)
+            "shrunk no larger" true
+            (List.length ovs <= r.X.overrides_before))
+  | _ -> Alcotest.fail "broken HP not caught"
+
+let test_shrinker_sound () =
+  (* Directly: whatever Shrink.minimize returns must still fail, and the
+     shrinker must never spend more than its replay budget. *)
+  match Lazy.force find_broken_hp with
+  | X.Failed r -> (
+      let sc = r.X.scenario in
+      match T.decode r.X.token with
+      | Error m -> Alcotest.failf "decode failed: %s" m
+      | Ok (_, ovs) ->
+          let ovs', spent = Oa_check.Shrink.minimize ~budget:60 sc ovs in
+          Alcotest.(check bool) "budget respected" true (spent <= 60);
+          Alcotest.(check bool)
+            "minimized still fails" true
+            (Oa_check.Shrink.fails sc ovs'))
+  | _ -> Alcotest.fail "broken HP not caught"
+
+let test_real_schemes_clean () =
+  (* Every real scheme survives the same adversarial budget that catches
+     the broken one.  25 seeds per scheme keeps the suite fast; the CLI
+     smoke test and calibration sweeps cover larger budgets. *)
+  List.iter
+    (fun id ->
+      let sc = { Sc.default with Sc.scheme = Sc.Real id } in
+      match
+        X.run ~policy:P.Random_walk ~faults:adversarial ~seeds:25 ~seed0:0
+          ~shrink_budget:0 sc
+      with
+      | X.Clean _ -> ()
+      | X.Failed r ->
+          Alcotest.failf "%s failed at seed %d: %s" (Schemes.id_name id)
+            r.X.seed
+            (Format.asprintf "%a" Sc.pp_failure_kind r.X.kind)
+      | X.Unreproducible { seed; _ } ->
+          Alcotest.failf "%s unreproducible at seed %d" (Schemes.id_name id)
+            seed)
+    Schemes.all_ids
+
+let test_structures_clean () =
+  (* The other two structures under the default scheme: a quick sanity
+     pass that the scenario runner drives them correctly. *)
+  List.iter
+    (fun structure ->
+      let sc = { Sc.default with Sc.structure } in
+      match
+        X.run ~policy:P.Random_walk ~faults:adversarial ~seeds:10 ~seed0:0
+          ~shrink_budget:0 sc
+      with
+      | X.Clean _ -> ()
+      | X.Failed r ->
+          Alcotest.failf "%s failed at seed %d"
+            (Oa_harness.Experiment.structure_name structure)
+            r.X.seed
+      | X.Unreproducible { seed; _ } ->
+          Alcotest.failf "unreproducible at seed %d" seed)
+    [ Oa_harness.Experiment.Hash_table; Oa_harness.Experiment.Skip_list ]
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "determinism" `Quick test_policy_determinism;
+          Alcotest.test_case "seed matters" `Quick test_policy_seed_matters;
+          Alcotest.test_case "fair = default" `Quick test_fair_is_default;
+          Alcotest.test_case "replay = drive" `Quick test_replay_reproduces_drive;
+        ] );
+      ( "scenario",
+        [ Alcotest.test_case "bounds" `Quick test_scenario_bounds ] );
+      ( "token",
+        [
+          Alcotest.test_case "round-trip" `Quick test_token_roundtrip;
+          Alcotest.test_case "uniform round-trip" `Quick
+            test_token_uniform_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_token_rejects_garbage;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "broken HP caught" `Quick test_broken_hp_is_caught;
+          Alcotest.test_case "shrunk token replays" `Quick
+            test_shrunk_token_replays;
+          Alcotest.test_case "shrinker sound" `Quick test_shrinker_sound;
+          Alcotest.test_case "real schemes clean" `Quick test_real_schemes_clean;
+          Alcotest.test_case "structures clean" `Quick test_structures_clean;
+        ] );
+    ]

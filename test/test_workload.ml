@@ -6,8 +6,15 @@ module Key_dist = Oa_workload.Key_dist
 
 let test_mix_validation () =
   Alcotest.check_raises "must sum to 100"
-    (Invalid_argument "Op_mix.v: percentages must sum to 100") (fun () ->
-      ignore (Op_mix.v ~read_pct:50 ~insert_pct:20 ~delete_pct:20))
+    (Invalid_argument
+       "Op_mix.v: percentages must sum to 100; mix 50/20/20 sums to 90")
+    (fun () -> ignore (Op_mix.v ~read_pct:50 ~insert_pct:20 ~delete_pct:20));
+  Alcotest.check_raises "no negative weights"
+    (Invalid_argument "Op_mix.v: negative percentage in mix 120/-10/-10")
+    (fun () -> ignore (Op_mix.v ~read_pct:120 ~insert_pct:(-10) ~delete_pct:(-10)));
+  (* Degenerate but legal: single-operation mixes. *)
+  Alcotest.(check string) "all-reads mix" "100/0/0"
+    (Op_mix.to_string (Op_mix.v ~read_pct:100 ~insert_pct:0 ~delete_pct:0))
 
 let test_mix_presets () =
   Alcotest.(check string) "read-mostly" "80/10/10"
