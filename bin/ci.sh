@@ -21,6 +21,26 @@ dune exec bin/oa_cli.exe -- check --scheme broken-hp --seeds 100 --quiet \
   --expect-fail
 dune exec bin/oa_cli.exe -- check --scheme oa --seeds 25 --quiet
 
+# Server smoke (docs/server.md): serve the sharded table over loopback,
+# drive it with the closed-loop load generator for ~2s, then deliver
+# SIGINT and require a graceful drain with a clean conservation verdict
+# (serve exits nonzero otherwise).  The binary is started directly — not
+# through `dune exec` — so the signal reaches it.  Port derived from the
+# PID to tolerate parallel CI runs on one machine.
+echo "== server smoke"
+OA_SMOKE_PORT=$(( ($$ % 20000) + 20000 ))
+./_build/default/bin/oa_cli.exe serve --scheme oa --shards 2 \
+  --port "$OA_SMOKE_PORT" &
+OA_SERVE_PID=$!
+sleep 1
+./_build/default/bin/oa_cli.exe loadgen --port "$OA_SMOKE_PORT" \
+  --conns 4 --pipeline 16 --duration 2 --json BENCH_server.json
+kill -INT "$OA_SERVE_PID"
+wait "$OA_SERVE_PID"
+test -s BENCH_server.json
+echo "== BENCH_server.json"
+cat BENCH_server.json
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt

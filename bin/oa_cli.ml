@@ -3,6 +3,8 @@
    oa_cli figure <1..8>          regenerate one figure of the paper
    oa_cli run [options]          run a single custom experiment
    oa_cli check [options]        explore schedules for SMR violations
+   oa_cli serve [options]        serve the sharded hash table over TCP
+   oa_cli loadgen [options]      drive a server and report latency
    oa_cli schemes                list the available SMR schemes *)
 
 module E = Oa_harness.Experiment
@@ -518,6 +520,251 @@ let check_cmd =
       $ zipf $ seeds $ seed0 $ policy $ pct_depth $ faults $ shrink_budget
       $ expect_fail $ replay $ quiet)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let module Sv = Oa_net.Service in
+  let module Srv = Oa_net.Server in
+  let d = Sv.default_config in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv d.Sv.scheme
+      & info [ "scheme"; "m" ] ~docv:"SCHEME"
+          ~doc:"SMR scheme for every shard: norecl, oa, hp, ebr, anchors, rc.")
+  in
+  let shards =
+    Arg.(
+      value & opt int d.Sv.shards
+      & info [ "shards" ] ~doc:"Independent table partitions.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int d.Sv.workers_per_shard
+      & info [ "workers"; "t" ] ~doc:"Worker domains per shard.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7440
+      & info [ "port" ] ~doc:"Listening port on 127.0.0.1; 0 picks one.")
+  in
+  let prefill =
+    Arg.(
+      value & opt int d.Sv.prefill
+      & info [ "prefill"; "p" ] ~doc:"Initial size across all shards.")
+  in
+  let keys =
+    Arg.(
+      value & opt int d.Sv.key_range
+      & info [ "keys"; "k" ] ~doc:"Expected key range 1..KEYS (sizes arenas).")
+  in
+  let delta =
+    Arg.(
+      value & opt int d.Sv.delta
+      & info [ "delta" ] ~doc:"Arena slack beyond the prefill share, per shard.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int d.Sv.chunk_size
+      & info [ "chunk" ] ~doc:"Local pool chunk size.")
+  in
+  let queue_capacity =
+    Arg.(
+      value
+      & opt int d.Sv.queue_capacity
+      & info [ "queue-capacity" ]
+          ~doc:"Bounded request queue per shard; overflow answers BUSY.")
+  in
+  let batch =
+    Arg.(
+      value & opt int d.Sv.dequeue_batch
+      & info [ "batch" ] ~doc:"Max requests a worker dequeues at once.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Shut down gracefully after $(docv); 0 runs until SIGINT/SIGTERM.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the final telemetry snapshot (connection, request, \
+             queue-depth and SMR events; see docs/observability.md) as \
+             line-delimited JSON to $(docv); $(b,-) writes to stdout.")
+  in
+  let run scheme shards workers port prefill keys delta chunk queue_capacity
+      batch duration metrics =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let cfg =
+      {
+        Sv.scheme;
+        shards;
+        workers_per_shard = workers;
+        prefill;
+        key_range = keys;
+        delta;
+        chunk_size = chunk;
+        queue_capacity;
+        dequeue_batch = batch;
+        seed = 1;
+      }
+    in
+    let service = Sv.create cfg in
+    Sv.start service;
+    let server = Srv.create ~port ~service () in
+    Printf.printf "serving %s x %d shards on 127.0.0.1:%d (prefill=%d)\n%!"
+      (Schemes.id_name scheme) shards (Srv.port server) prefill;
+    (* Signal handlers only flip a flag; a watcher domain turns the flag —
+       or the --duration deadline — into the actual graceful shutdown, so
+       no locking happens in async-signal context. *)
+    let stop_requested = Atomic.make false in
+    let request _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request);
+    let watcher =
+      Domain.spawn (fun () ->
+          let deadline =
+            if duration > 0.0 then
+              Some
+                (Oa_runtime.Clock.now_ns () + int_of_float (duration *. 1e9))
+            else None
+          in
+          let rec wait () =
+            if Atomic.get stop_requested then ()
+            else if
+              match deadline with
+              | Some t -> Oa_runtime.Clock.now_ns () >= t
+              | None -> false
+            then ()
+            else begin
+              Unix.sleepf 0.05;
+              wait ()
+            end
+          in
+          wait ();
+          Srv.shutdown server)
+    in
+    Srv.serve server;
+    Atomic.set stop_requested true;
+    Domain.join watcher;
+    let report = Sv.drain_report service in
+    Format.printf "%a@." Sv.pp_report report;
+    (match metrics with
+    | None -> ()
+    | Some path ->
+        let rendered =
+          Oa_obs.Export.to_json_lines (Oa_obs.Sink.snapshot (Sv.sink service))
+        in
+        if path = "-" then print_string rendered
+        else begin
+          let oc = open_out path in
+          output_string oc rendered;
+          close_out oc;
+          Printf.printf "metrics written to %s\n" path
+        end);
+    if not report.Sv.conservation_ok then begin
+      prerr_endline "oa_cli serve: reclamation conservation VIOLATED";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the sharded lock-free hash table over TCP (loopback), one \
+          SMR scheme instance per shard; graceful shutdown drains in-flight \
+          requests, runs a final reclamation pass and reports conservation.")
+    Term.(
+      const run $ scheme $ shards $ workers $ port $ prefill $ keys $ delta
+      $ chunk $ queue_capacity $ batch $ duration $ metrics)
+
+(* --- loadgen --- *)
+
+let loadgen_cmd =
+  let module Lg = Oa_net.Loadgen in
+  let d = Lg.default_config in
+  let host =
+    Arg.(value & opt string d.Lg.host & info [ "host" ] ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int d.Lg.port & info [ "port" ] ~doc:"Server port.")
+  in
+  let conns =
+    Arg.(
+      value & opt int d.Lg.conns
+      & info [ "conns"; "c" ] ~doc:"Concurrent connections (one domain each).")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int d.Lg.pipeline
+      & info [ "pipeline" ] ~doc:"Requests kept in flight per connection.")
+  in
+  let duration =
+    Arg.(
+      value & opt float d.Lg.duration
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let mix =
+    Arg.(
+      value & opt mix_conv d.Lg.mix
+      & info [ "mix" ] ~docv:"R/I/D" ~doc:"Operation mix, e.g. 80/10/10.")
+  in
+  let keys =
+    Arg.(
+      value
+      & opt int (Oa_workload.Key_dist.range d.Lg.key_dist)
+      & info [ "keys"; "k" ] ~doc:"Keys are drawn uniformly from 1..KEYS.")
+  in
+  let seed = Arg.(value & opt int d.Lg.seed & info [ "seed" ] ~doc:"Seed.") in
+  let json =
+    Arg.(
+      value & opt string "BENCH_server.json"
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Machine-readable result; $(b,-) suppresses the file.")
+  in
+  let run host port conns pipeline duration mix keys seed json =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let cfg =
+      {
+        Lg.host;
+        port;
+        conns;
+        pipeline;
+        duration;
+        mix;
+        key_dist = Oa_workload.Key_dist.uniform ~range:keys;
+        seed;
+      }
+    in
+    match Lg.run cfg with
+    | Error msg ->
+        Printf.eprintf "oa_cli loadgen: %s\n" msg;
+        exit 1
+    | Ok summary ->
+        print_string (Oa_net.Summary.to_table summary);
+        if json <> "-" then begin
+          Oa_net.Summary.write_json ~path:json summary;
+          Printf.printf "wrote %s\n" json
+        end;
+        if summary.Oa_net.Summary.ops = 0 then begin
+          prerr_endline "oa_cli loadgen: no responses received";
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Closed-loop load generator for $(b,oa_cli serve): pipelined \
+          batches over concurrent connections, per-response latency with \
+          p50/p90/p99, JSON summary.")
+    Term.(
+      const run $ host $ port $ conns $ pipeline $ duration $ mix $ keys
+      $ seed $ json)
+
 (* --- schemes --- *)
 
 let schemes_cmd =
@@ -537,4 +784,6 @@ let () =
          Lock-Free Data Structures with Optimistic Access' (SPAA 2015)."
   in
   exit
-    (Cmd.eval (Cmd.group info [ run_cmd; figure_cmd; check_cmd; schemes_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; figure_cmd; check_cmd; serve_cmd; loadgen_cmd; schemes_cmd ]))

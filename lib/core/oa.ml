@@ -400,6 +400,19 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     end;
     VP.chunk_push ctx.retire_chunk (Ptr.index (Ptr.unmark p))
 
+  (* Hand the local retire chunk to the retired pool, then run two phases:
+     the first freezes the retired pool (including our chunk) into the
+     processing pool, the second processes it.  Anything still hazard-
+     protected stays pooled and is reported as in-flight by conservation
+     accounting. *)
+  let quiesce ctx =
+    if not (VP.chunk_empty ctx.retire_chunk) then begin
+      push_retired ctx ctx.retire_chunk;
+      ctx.retire_chunk <- VP.make_chunk ctx.mm.cfg.Smr_intf.chunk_size
+    end;
+    recycle ctx;
+    recycle ctx
+
   let stats mm =
     List.fold_left
       (fun acc (c : ctx) ->

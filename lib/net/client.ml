@@ -1,0 +1,52 @@
+(** Blocking client over the wire protocol — the building block of the
+    load generator, the integration tests, and any external driver.
+
+    Batch-oriented to exploit pipelining: [send] writes any number of
+    requests in one syscall, [recv] collects responses as they arrive.
+    The server preserves request order within a connection, but every
+    response still carries its request id, so callers can (and the tests
+    do) match by id. *)
+
+type t = { conn : Conn.t }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  { conn = Conn.make fd }
+
+let close t = Conn.close t.conn
+
+let send t reqs =
+  List.iter (Protocol.encode_request (Conn.out t.conn)) reqs;
+  Conn.flush t.conn
+
+(** [recv t n] collects exactly [n] responses (in arrival order). *)
+let recv t n =
+  let rec go acc n =
+    if n = 0 then Ok (List.rev acc)
+    else
+      match
+        Conn.recv_batch t.conn ~decode:Protocol.decode_response ~max:n
+      with
+      | `Frames rs -> go (List.rev_append rs acc) (n - List.length rs)
+      | `Eof -> Error "connection closed by server"
+      | `Fail e -> Error (Protocol.error_to_string e)
+  in
+  go [] n
+
+(** Send a batch and wait for all its responses. *)
+let call t reqs =
+  send t reqs;
+  recv t (List.length reqs)
+
+(** Single-request convenience. *)
+let call_one t req =
+  match call t [ req ] with
+  | Ok [ r ] -> Ok r
+  | Ok _ -> Error "response count mismatch"
+  | Error e -> Error e

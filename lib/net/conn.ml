@@ -1,0 +1,91 @@
+(** Buffered, framed I/O over one blocking socket.
+
+    Shared by the server's connection handlers and the client/loadgen: a
+    growable read buffer that frames are decoded out of incrementally, and
+    an output buffer flushed with a full-write loop.  All decoding errors
+    are values ({!Protocol.error}); the only exceptions escaping this
+    module are [Unix.Unix_error] from the socket itself, which callers
+    treat as a dropped connection. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable rpos : int;  (** start of unconsumed data *)
+  mutable rlen : int;  (** end of valid data *)
+  out : Buffer.t;
+}
+
+let make fd =
+  { fd; rbuf = Bytes.create 8_192; rpos = 0; rlen = 0; out = Buffer.create 8_192 }
+
+let fd t = t.fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let pending t = t.rlen - t.rpos
+
+(* Make room for at least one maximal frame past [rlen], compacting first. *)
+let ensure_space t =
+  if t.rpos > 0 then begin
+    Bytes.blit t.rbuf t.rpos t.rbuf 0 (pending t);
+    t.rlen <- pending t;
+    t.rpos <- 0
+  end;
+  if Bytes.length t.rbuf - t.rlen < 4_096 then begin
+    let bigger =
+      Bytes.create (min (2 * Bytes.length t.rbuf) (2 * (4 + Protocol.max_payload)))
+    in
+    if Bytes.length bigger <= Bytes.length t.rbuf then ()
+    else begin
+      Bytes.blit t.rbuf 0 bigger 0 t.rlen;
+      t.rbuf <- bigger
+    end
+  end
+
+(* Decode as many buffered frames as possible, up to [max]. *)
+let rec drain_buffered t ~decode ~max acc =
+  if max = 0 then Ok (List.rev acc)
+  else
+    match decode t.rbuf ~off:t.rpos ~avail:(pending t) with
+    | Protocol.Complete (v, consumed) ->
+        t.rpos <- t.rpos + consumed;
+        drain_buffered t ~decode ~max:(max - 1) (v :: acc)
+    | Protocol.Incomplete -> Ok (List.rev acc)
+    | Protocol.Fail e -> if acc = [] then Error e else Ok (List.rev acc)
+
+(** [recv_batch t ~decode ~max] returns at least one decoded frame —
+    blocking for more bytes as needed — and opportunistically every
+    further frame already buffered, up to [max] (the pipelining batch).
+    [`Eof] is a clean end of stream; an end of stream mid-frame and any
+    malformed frame are [`Fail]. *)
+let recv_batch t ~decode ~max =
+  let rec go () =
+    match drain_buffered t ~decode ~max [] with
+    | Error e -> `Fail e
+    | Ok (_ :: _ as frames) -> `Frames frames
+    | Ok [] -> (
+        ensure_space t;
+        match Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) with
+        | 0 ->
+            if pending t = 0 then `Eof
+            else `Fail (Protocol.Eof_mid_frame (pending t))
+        | n ->
+            t.rlen <- t.rlen + n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+(** The output accumulator; encode frames into it, then {!flush}. *)
+let out t = t.out
+
+let flush t =
+  let data = Buffer.to_bytes t.out in
+  Buffer.clear t.out;
+  let len = Bytes.length data in
+  let written = ref 0 in
+  while !written < len do
+    match Unix.write t.fd data !written (len - !written) with
+    | n -> written := !written + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

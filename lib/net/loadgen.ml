@@ -1,0 +1,181 @@
+(** Closed-loop multi-connection load generator.
+
+    Each connection runs in its own domain and keeps exactly one pipelined
+    batch outstanding: draw [pipeline] operations from the workload mix,
+    send them in one write, wait for every response, repeat until the
+    deadline.  Latency is measured per response — send timestamp recorded
+    by request id, arrival timestamp taken when the response's read
+    returns — and recorded into an {!Oa_obs.Histogram} per connection;
+    the histograms merge associatively into the final {!Summary.t}.
+
+    Closed-loop means offered load adapts to the server: a saturated
+    server shows up as latency, a full shard queue as BUSY responses, not
+    as an unbounded client-side backlog. *)
+
+module H = Oa_obs.Histogram
+module Clock = Oa_runtime.Clock
+
+type config = {
+  host : string;
+  port : int;
+  conns : int;
+  pipeline : int;  (** requests in flight per connection *)
+  duration : float;  (** seconds *)
+  mix : Oa_workload.Op_mix.t;
+  key_dist : Oa_workload.Key_dist.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7440;
+    conns = 4;
+    pipeline = 16;
+    duration = 2.0;
+    mix = Oa_workload.Op_mix.read_mostly;
+    key_dist = Oa_workload.Key_dist.uniform ~range:8_000;
+    seed = 42;
+  }
+
+type conn_result = {
+  ops : int;  (** responses received, including BUSY *)
+  ok : int;
+  busy : int;
+  errors : int;
+  latency : H.t;
+}
+
+(* A function: histograms are mutable, so each connection (domain) must
+   start from its own. *)
+let empty_result () =
+  { ops = 0; ok = 0; busy = 0; errors = 0; latency = H.create () }
+
+(* One connection's closed loop.  Socket or decode failures end the loop
+   early and surface as [errors]; partial counts are still reported. *)
+let run_conn cfg ~index =
+  let rng = Oa_util.Splitmix.create (cfg.seed + (index * 7_919)) in
+  let sent = Hashtbl.create (2 * cfg.pipeline) in
+  let next_id = ref (index * 1_000_000_000) in
+  let acc = ref (empty_result ()) in
+  let deadline = Clock.now_ns () + int_of_float (cfg.duration *. 1e9) in
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | exception Unix.Unix_error _ -> { !acc with errors = !acc.errors + 1 }
+  | client ->
+      let make_req () =
+        let key = Oa_workload.Key_dist.draw cfg.key_dist rng in
+        let op =
+          match Oa_workload.Op_mix.draw cfg.mix rng with
+          | Oa_workload.Op_mix.Contains -> Protocol.Get key
+          | Oa_workload.Op_mix.Insert -> Protocol.Insert key
+          | Oa_workload.Op_mix.Delete -> Protocol.Delete key
+        in
+        incr next_id;
+        { Protocol.id = !next_id; op }
+      in
+      let record (r : Protocol.response) arrival =
+        let a = !acc in
+        let lat =
+          match Hashtbl.find_opt sent r.Protocol.rid with
+          | None -> None
+          | Some t0 ->
+              Hashtbl.remove sent r.Protocol.rid;
+              Some (max 0 (arrival - t0))
+        in
+        (match r.Protocol.body with
+        | Protocol.Bool _ ->
+            Option.iter (H.observe a.latency) lat;
+            acc := { a with ops = a.ops + 1; ok = a.ok + 1 }
+        | Protocol.Busy -> acc := { a with ops = a.ops + 1; busy = a.busy + 1 }
+        | Protocol.Pong | Protocol.Stats_r _ ->
+            acc := { a with ops = a.ops + 1 }
+        | Protocol.Error_r _ ->
+            acc := { a with ops = a.ops + 1; errors = a.errors + 1 })
+      in
+      (try
+         while Clock.now_ns () < deadline do
+           let reqs = List.init cfg.pipeline (fun _ -> make_req ()) in
+           let t0 = Clock.now_ns () in
+           List.iter
+             (fun (r : Protocol.request) -> Hashtbl.replace sent r.id t0)
+             reqs;
+           Client.send client reqs;
+           (* Collect all [pipeline] responses, stamping each read's
+              arrivals as they come in rather than once per batch. *)
+           let remaining = ref cfg.pipeline in
+           while !remaining > 0 do
+             match Client.recv client !remaining with
+             | Ok rs ->
+                 let arrival = Clock.now_ns () in
+                 List.iter (fun r -> record r arrival) rs;
+                 remaining := !remaining - List.length rs
+             | Error _ ->
+                 acc := { !acc with errors = !acc.errors + 1 };
+                 raise Exit
+           done
+         done
+       with
+      | Exit -> ()
+      | Unix.Unix_error _ -> acc := { !acc with errors = !acc.errors + 1 });
+      Client.close client;
+      !acc
+
+(* Ask the server who it is; [None] if unreachable. *)
+let probe cfg =
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | exception Unix.Unix_error _ -> None
+  | client ->
+      let r =
+        match Client.call_one client { Protocol.id = 0; op = Protocol.Stats } with
+        | Ok { Protocol.body = Protocol.Stats_r vs; _ } -> Some vs
+        | Ok _ | Error _ -> None
+      in
+      Client.close client;
+      r
+
+(** Run the full load generation: probe, fan out [cfg.conns] connection
+    domains, merge.  Returns [Error] if the server cannot be reached. *)
+let run cfg =
+  match probe cfg with
+  | None ->
+      Error
+        (Printf.sprintf "cannot reach server at %s:%d" cfg.host cfg.port)
+  | Some stats ->
+      let t0 = Clock.now_ns () in
+      let domains =
+        List.init cfg.conns (fun i ->
+            Domain.spawn (fun () -> run_conn cfg ~index:i))
+      in
+      let results = List.map Domain.join domains in
+      let elapsed = Clock.elapsed_s ~since:t0 in
+      let merged =
+        List.fold_left
+          (fun a r ->
+            {
+              ops = a.ops + r.ops;
+              ok = a.ok + r.ok;
+              busy = a.busy + r.busy;
+              errors = a.errors + r.errors;
+              latency = H.merge a.latency r.latency;
+            })
+          (empty_result ()) results
+      in
+      let scheme, shards, workers_per_shard =
+        match Service.scheme_of_stats_payload stats with
+        | Some s -> (Oa_smr.Schemes.id_name s, stats.(1), stats.(2))
+        | None -> ("unknown", 0, 0)
+      in
+      Ok
+        {
+          Summary.scheme;
+          shards;
+          workers_per_shard;
+          conns = cfg.conns;
+          pipeline = cfg.pipeline;
+          elapsed;
+          ops = merged.ops;
+          ok = merged.ok;
+          busy = merged.busy;
+          errors = merged.errors;
+          latency = merged.latency;
+        }

@@ -1,0 +1,184 @@
+(** TCP front-end: accept loop, per-connection handlers, graceful
+    shutdown.
+
+    One domain per connection, blocking I/O.  A handler reads one
+    pipelined batch of frames, submits the shard operations to the
+    {!Service}, answers PING/STATS inline, awaits the batch rendezvous,
+    and writes every response in request order before reading again —
+    so responses never interleave within a connection and ids stay
+    matchable.
+
+    Shutdown ({!shutdown}, idempotent, callable from a signal handler or
+    another domain) proceeds strictly: stop accepting (close the listener),
+    half-close every connection's read side so handlers finish their
+    in-flight batch and exit, join the handlers, then stop the service —
+    which drains the shard queues, runs every worker's final reclamation
+    pass ({!Oa_core.Smr_intf.S.quiesce}) and joins.  Only then does
+    {!serve} return; the caller reads the {!Service.drain_report} with
+    the retire/reclaim conservation verdict. *)
+
+type t = {
+  service : Service.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  max_pipeline : int;
+  stopping : bool Atomic.t;
+  conns_m : Mutex.t;
+  mutable conns : (Unix.file_descr * unit Domain.t) list;
+  obs : Oa_obs.Recorder.t option;
+}
+
+let create ?(port = 0) ?(backlog = 64) ?(max_pipeline = 256) ~service () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  {
+    service;
+    listen_fd = fd;
+    port;
+    max_pipeline;
+    stopping = Atomic.make false;
+    conns_m = Mutex.create ();
+    conns = [];
+    obs = Oa_obs.Sink.register (Service.sink service);
+  }
+
+let port t = t.port
+
+(* The accept loop's recorder counts [Conn_open]; each handler registers
+   its own recorder for the per-connection events (recorders are
+   single-writer by design — one per domain). *)
+let obs_incr t ev =
+  match t.obs with None -> () | Some r -> Oa_obs.Recorder.incr r ev
+
+let rec_incr o ev =
+  match o with None -> () | Some r -> Oa_obs.Recorder.incr r ev
+
+(* One request of a pipelined batch, as submitted: either waiting on a
+   shard worker, or answered inline. *)
+type slot =
+  | Pending of Service.item
+  | Immediate of Protocol.body
+
+let classify t batch (req : Protocol.request) =
+  let submit kind key =
+    match Service.submit t.service batch kind key with
+    | Some item -> Pending item
+    | None -> Immediate Protocol.Busy
+  in
+  match req.Protocol.op with
+  | Protocol.Get k -> submit Service.Get k
+  | Protocol.Insert k -> submit Service.Insert k
+  | Protocol.Delete k -> submit Service.Delete k
+  | Protocol.Stats ->
+      Immediate (Protocol.Stats_r (Service.stats_payload t.service))
+  | Protocol.Ping -> Immediate Protocol.Pong
+
+let handle_conn t conn =
+  let o = Oa_obs.Sink.register (Service.sink t.service) in
+  let rec loop () =
+    match
+      Conn.recv_batch conn ~decode:Protocol.decode_request ~max:t.max_pipeline
+    with
+    | `Eof -> ()
+    | `Fail e ->
+        (* Malformed frame: answer with a protocol error and close.  The
+           error is a value all the way here — nothing thrown. *)
+        rec_incr o Oa_obs.Event.Proto_error;
+        Protocol.encode_response (Conn.out conn)
+          { Protocol.rid = 0; body = Protocol.Error_r (Protocol.error_to_string e) };
+        Conn.flush conn
+    | `Frames reqs ->
+        let batch = Service.new_batch () in
+        let slots = List.map (fun r -> (r, classify t batch r)) reqs in
+        List.iter
+          (fun (_, s) ->
+            match s with
+            | Pending _ -> rec_incr o Oa_obs.Event.Req_enq
+            | Immediate Protocol.Busy -> rec_incr o Oa_obs.Event.Req_busy
+            | Immediate _ -> ())
+          slots;
+        Service.await batch;
+        List.iter
+          (fun ((req : Protocol.request), s) ->
+            let body =
+              match s with
+              | Immediate b -> b
+              | Pending item ->
+                  if item.Service.failed then
+                    Protocol.Error_r "shard operation failed"
+                  else Protocol.Bool item.Service.result
+            in
+            Protocol.encode_response (Conn.out conn)
+              { Protocol.rid = req.Protocol.id; body })
+          slots;
+        Conn.flush conn;
+        loop ()
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  Conn.close conn;
+  rec_incr o Oa_obs.Event.Conn_close
+
+(** Blocking accept loop; returns once {!shutdown} has run and both the
+    connection handlers and the service workers have drained and joined. *)
+let serve t =
+  let rec accept_loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.setsockopt fd Unix.TCP_NODELAY true;
+        obs_incr t Oa_obs.Event.Conn_open;
+        let conn = Conn.make fd in
+        let d = Domain.spawn (fun () -> handle_conn t conn) in
+        Mutex.lock t.conns_m;
+        t.conns <- (fd, d) :: t.conns;
+        Mutex.unlock t.conns_m;
+        (* [shutdown] may have walked the list between [accept] and the
+           insertion above; half-close late arrivals ourselves. *)
+        if Atomic.get t.stopping then
+          (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+           with Unix.Unix_error _ -> ());
+        accept_loop ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        if Atomic.get t.stopping then () else accept_loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _)
+      when Atomic.get t.stopping ->
+        ()
+  in
+  accept_loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* Drain: handlers finish their in-flight batches against half-closed
+     sockets, then the service stops — queues close, workers execute what
+     remains, quiesce, join. *)
+  Mutex.lock t.conns_m;
+  let conns = t.conns in
+  Mutex.unlock t.conns_m;
+  List.iter (fun (_, d) -> Domain.join d) conns;
+  Service.stop t.service
+
+(** Idempotent; safe from another domain or a signal handler.  The
+    listener is woken with [shutdown(2)] rather than closed here: closing
+    an fd another domain is blocked in [accept(2)] on does not reliably
+    interrupt the accept, and the fd number could be reused under it.
+    [serve] closes the fd once its loop has exited. *)
+let shutdown t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    Mutex.lock t.conns_m;
+    let conns = t.conns in
+    Mutex.unlock t.conns_m;
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conns
+  end

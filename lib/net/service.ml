@@ -1,0 +1,351 @@
+(** The sharded key-value core: the first subsystem that composes arena +
+    SMR scheme + lock-free structure + real backend + telemetry into one
+    running request path.
+
+    Keys are hashed across [shards] independent partitions.  Each shard is
+    an {!Oa_structures.Hash_table} over its own arena with its own
+    instance of the caller-selected SMR scheme, served by
+    [workers_per_shard] dedicated domains that pull from a bounded
+    per-shard {!Shard_queue} (reject-with-BUSY backpressure, batched
+    dequeue).  With one worker per shard the layout is shared-nothing;
+    with more, the workers contend on the shard's lock-free table and its
+    reclamation scheme exactly as the paper's benchmark threads do — but
+    behind a real request path whose tail latency makes reclamation stalls
+    visible.
+
+    Completion is by rendezvous: a connection handler groups the requests
+    of one pipelined read into a {!batch}, submits each to its shard's
+    queue, and {!await}s; workers fill per-item results and count the
+    batch down.  Item results are written and read under the batch mutex,
+    which is the required happens-before edge between worker and handler
+    domains. *)
+
+module I = Oa_core.Smr_intf
+module Schemes = Oa_smr.Schemes
+
+type op_kind = Get | Insert | Delete
+
+type batch = { bm : Mutex.t; bc : Condition.t; mutable pending : int }
+
+type item = {
+  kind : op_kind;
+  key : int;
+  batch : batch;
+  mutable result : bool;
+  mutable failed : bool;  (** the shard operation raised; [result] invalid *)
+}
+
+type config = {
+  scheme : Schemes.id;
+  shards : int;
+  workers_per_shard : int;
+  prefill : int;  (** distinct keys inserted across all shards before serving *)
+  key_range : int;  (** keys are expected in [1..key_range] (advisory) *)
+  delta : int;  (** arena slack beyond the prefill share, per shard *)
+  chunk_size : int;
+  queue_capacity : int;  (** per shard *)
+  dequeue_batch : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    scheme = Schemes.Optimistic_access;
+    shards = 4;
+    workers_per_shard = 1;
+    prefill = 4_000;
+    key_range = 8_000;
+    delta = 8_000;
+    chunk_size = 126;
+    queue_capacity = 1_024;
+    dequeue_batch = 64;
+    seed = 1;
+  }
+
+(* Per-worker operation bundle; built on the worker's own domain. *)
+type worker_ops = { exec : op_kind -> int -> bool; quiesce : unit -> unit }
+
+(* The per-shard handle: scheme/structure types are erased into closures,
+   as in [Oa_harness.Experiment]. *)
+type shard = {
+  queue : item Shard_queue.t;
+  register : unit -> worker_ops;
+  size : unit -> int;  (** quiescent only *)
+  validate : unit -> (unit, string) result;  (** quiescent only *)
+  smr_stats : unit -> I.stats;
+}
+
+type t = {
+  cfg : config;
+  sink : Oa_obs.Sink.t;
+  shards : shard array;
+  processed : int Atomic.t;
+  busy : int Atomic.t;
+  exec_errors : int Atomic.t;
+  mutable workers : unit Domain.t array;
+  mutable stopped : bool;
+}
+
+(* Shard routing: a Fibonacci mix over a different bit window than the
+   tables' own bucket hash, so shard choice and bucket choice stay
+   uncorrelated. *)
+let shard_index ~shards key = ((key * 0x2545F4914F6CDD1D) lsr 33) mod shards
+
+let shard_of t key = t.shards.(shard_index ~shards:t.cfg.shards key)
+
+let make_shard ~obs ~(cfg : config) : shard =
+  let module R = (val Oa_runtime.Real_backend.make ()) in
+  let module Sch = Schemes.Make (R) in
+  let module S = (val Sch.pack cfg.scheme) in
+  let module H = Oa_structures.Hash_table.Make (S) in
+  let expected = max 16 (cfg.prefill / cfg.shards) in
+  let capacity = expected + max cfg.delta (4 * cfg.chunk_size * (cfg.workers_per_shard + 1)) in
+  let smr_cfg =
+    {
+      I.default_config with
+      I.chunk_size = cfg.chunk_size;
+      retire_threshold =
+        max 16 (cfg.delta / (2 * max 1 cfg.workers_per_shard));
+      epoch_threshold = max 16 (cfg.delta / (2 * max 1 cfg.workers_per_shard));
+    }
+  in
+  let tbl = H.create ~obs ~capacity ~expected_size:expected smr_cfg in
+  {
+    queue = Shard_queue.create ~capacity:cfg.queue_capacity;
+    register =
+      (fun () ->
+        let ctx = H.register tbl in
+        {
+          exec =
+            (fun kind key ->
+              match kind with
+              | Get -> H.contains tbl ctx key
+              | Insert -> H.insert tbl ctx key
+              | Delete -> H.delete tbl ctx key);
+          quiesce = (fun () -> H.quiesce ctx);
+        });
+    size = (fun () -> List.length (H.to_list tbl));
+    validate = (fun () -> H.validate tbl ~limit:(10 * capacity));
+    smr_stats = (fun () -> S.stats (H.smr tbl));
+  }
+
+let create ?(obs = Oa_obs.Sink.create ()) (cfg : config) : t =
+  if cfg.shards <= 0 then invalid_arg "Service.create: shards must be positive";
+  if cfg.workers_per_shard <= 0 then
+    invalid_arg "Service.create: workers_per_shard must be positive";
+  let shards = Array.init cfg.shards (fun _ -> make_shard ~obs ~cfg) in
+  (* Prefill from the main domain: one registration per shard, random keys
+     from the range until [prefill] distinct keys are in. *)
+  if cfg.prefill > 0 then begin
+    let ops = Array.map (fun s -> s.register ()) shards in
+    let rng = Oa_util.Splitmix.create (cfg.seed lxor 0x5eed) in
+    let remaining = ref cfg.prefill in
+    while !remaining > 0 do
+      let k = 1 + Oa_util.Splitmix.below rng cfg.key_range in
+      if ops.(shard_index ~shards:cfg.shards k).exec Insert k then
+        decr remaining
+    done
+  end;
+  {
+    cfg;
+    sink = obs;
+    shards;
+    processed = Atomic.make 0;
+    busy = Atomic.make 0;
+    exec_errors = Atomic.make 0;
+    workers = [||];
+    stopped = false;
+  }
+
+(* The worker loop: batched dequeue, execute, rendezvous.  An exception
+   from the structure (e.g. [Arena_exhausted] under an undersized delta)
+   fails the single item, never the worker. *)
+let worker_loop t (shard : shard) =
+  let ops = shard.register () in
+  let rec_opt = Oa_obs.Sink.register t.sink in
+  let rec loop () =
+    match Shard_queue.pop_batch shard.queue ~max:t.cfg.dequeue_batch with
+    | [], _ -> ops.quiesce ()
+    | items, depth ->
+        (match rec_opt with
+        | None -> ()
+        | Some r ->
+            Oa_obs.Recorder.observe r "net_queue_depth" depth;
+            Oa_obs.Recorder.observe r "net_batch" (List.length items));
+        List.iter
+          (fun it ->
+            let result, failed =
+              match ops.exec it.kind it.key with
+              | r -> (r, false)
+              | exception _ ->
+                  Atomic.incr t.exec_errors;
+                  (false, true)
+            in
+            Mutex.lock it.batch.bm;
+            it.result <- result;
+            it.failed <- failed;
+            it.batch.pending <- it.batch.pending - 1;
+            if it.batch.pending = 0 then Condition.signal it.batch.bc;
+            Mutex.unlock it.batch.bm;
+            Atomic.incr t.processed;
+            match rec_opt with
+            | None -> ()
+            | Some r -> Oa_obs.Recorder.incr r Oa_obs.Event.Req_done)
+          items;
+        loop ()
+  in
+  loop ()
+
+let start t =
+  if Array.length t.workers > 0 then invalid_arg "Service.start: already started";
+  t.workers <-
+    Array.init
+      (t.cfg.shards * t.cfg.workers_per_shard)
+      (fun w ->
+        let shard = t.shards.(w mod t.cfg.shards) in
+        Domain.spawn (fun () -> worker_loop t shard))
+
+(** Close all queues and join the workers; each worker runs the scheme's
+    {!Oa_core.Smr_intf.S.quiesce} — the final reclamation pass — on its
+    way out.  Queued items are still executed and completed: callers that
+    submitted before [stop] get their answers (the drain guarantee). *)
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Array.iter (fun s -> Shard_queue.close s.queue) t.shards;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let new_batch () =
+  { bm = Mutex.create (); bc = Condition.create (); pending = 0 }
+
+(** [submit t batch kind key] routes the operation to its shard queue.
+    [Some item] joins the batch (await it before reading [item.result]);
+    [None] means the shard queue was full — answer BUSY. *)
+let submit t batch kind key =
+  let item = { kind; key; batch; result = false; failed = false } in
+  Mutex.lock batch.bm;
+  batch.pending <- batch.pending + 1;
+  Mutex.unlock batch.bm;
+  if Shard_queue.try_push (shard_of t key).queue item then Some item
+  else begin
+    Mutex.lock batch.bm;
+    batch.pending <- batch.pending - 1;
+    Mutex.unlock batch.bm;
+    Atomic.incr t.busy;
+    None
+  end
+
+let await batch =
+  Mutex.lock batch.bm;
+  while batch.pending > 0 do
+    Condition.wait batch.bc batch.bm
+  done;
+  Mutex.unlock batch.bm
+
+type reply = Done of bool | Rejected | Failed
+
+(** One-shot synchronous call — the library embedding used by
+    [examples/echo_shard.ml] and unit tests; connection handlers use
+    {!submit}/{!await} directly to pipeline. *)
+let call t kind key =
+  let batch = new_batch () in
+  match submit t batch kind key with
+  | None -> Rejected
+  | Some item ->
+      await batch;
+      if item.failed then Failed else Done item.result
+
+(* --- introspection --- *)
+
+let config t = t.cfg
+let sink t = t.sink
+let processed t = Atomic.get t.processed
+let busy_rejections t = Atomic.get t.busy
+let queue_depths t = Array.map (fun s -> Shard_queue.length s.queue) t.shards
+
+(** The STATS response payload: a versioned flat vector (field order is
+    part of the wire contract, see docs/server.md).
+    [| scheme; shards; workers_per_shard; queue_capacity; processed;
+       busy; exec_errors |] where [scheme] indexes {!Schemes.all_ids}. *)
+let stats_payload t =
+  let scheme_idx =
+    let rec find i = function
+      | [] -> -1
+      | id :: rest -> if id = t.cfg.scheme then i else find (i + 1) rest
+    in
+    find 0 Schemes.all_ids
+  in
+  [|
+    scheme_idx;
+    t.cfg.shards;
+    t.cfg.workers_per_shard;
+    t.cfg.queue_capacity;
+    Atomic.get t.processed;
+    Atomic.get t.busy;
+    Atomic.get t.exec_errors;
+  |]
+
+let scheme_of_stats_payload (vs : int array) =
+  if Array.length vs < 1 then None
+  else List.nth_opt Schemes.all_ids vs.(0)
+
+(* --- drain report (quiescent: call after [stop]) --- *)
+
+type report = {
+  processed : int;
+  busy : int;
+  exec_errors : int;
+  sizes : int array;
+  retired : int;  (** {!Oa_obs.Event.Retire} total across all shards *)
+  reclaimed : int;  (** {!Oa_obs.Event.Reclaim} total *)
+  smr : I.stats;  (** aggregate scheme statistics *)
+  validation : (unit, string) result;
+  conservation_ok : bool;
+      (** [reclaimed <= retired] and [smr.recycled <= smr.retires]: no
+          node reclaimed more often than retired (double free), checked
+          after the final reclamation pass *)
+}
+
+let drain_report t : report =
+  let sizes = Array.map (fun s -> s.size ()) t.shards in
+  let smr =
+    Array.fold_left
+      (fun acc s -> I.add_stats acc (s.smr_stats ()))
+      I.empty_stats t.shards
+  in
+  let retired = Oa_obs.Sink.total t.sink Oa_obs.Event.Retire in
+  let reclaimed = Oa_obs.Sink.total t.sink Oa_obs.Event.Reclaim in
+  let validation =
+    let rec go i =
+      if i >= Array.length t.shards then Ok ()
+      else
+        match t.shards.(i).validate () with
+        | Ok () -> go (i + 1)
+        | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+    in
+    go 0
+  in
+  {
+    processed = Atomic.get t.processed;
+    busy = Atomic.get t.busy;
+    exec_errors = Atomic.get t.exec_errors;
+    sizes;
+    retired;
+    reclaimed;
+    smr;
+    validation;
+    conservation_ok =
+      reclaimed <= retired && smr.I.recycled <= smr.I.retires
+      && validation = Ok ();
+  }
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "processed=%d busy=%d errors=%d size=%d retired=%d reclaimed=%d \
+     in-flight=%d conservation=%s"
+    r.processed r.busy r.exec_errors
+    (Array.fold_left ( + ) 0 r.sizes)
+    r.retired r.reclaimed (r.retired - r.reclaimed)
+    (if r.conservation_ok then "ok" else "VIOLATED")

@@ -1,0 +1,64 @@
+(** Latency/throughput summaries of a load-generation run: the printed
+    percentile table and the machine-readable [BENCH_server.json]. *)
+
+module H = Oa_obs.Histogram
+
+type t = {
+  scheme : string;
+  shards : int;
+  workers_per_shard : int;
+  conns : int;
+  pipeline : int;
+  elapsed : float;  (** seconds *)
+  ops : int;  (** responses received (including BUSY) *)
+  ok : int;  (** boolean results *)
+  busy : int;
+  errors : int;
+  latency : H.t;  (** nanoseconds, successful responses *)
+}
+
+let throughput t = if t.elapsed <= 0.0 then 0.0 else float_of_int t.ops /. t.elapsed
+
+let quantiles = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
+let to_table t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "scheme=%s shards=%d workers=%d conns=%d pipeline=%d\n\
+        %d responses in %.3fs: %.0f ops/s (ok=%d busy=%d errors=%d)\n"
+       t.scheme t.shards t.workers_per_shard t.conns t.pipeline t.ops t.elapsed
+       (throughput t) t.ok t.busy t.errors);
+  if H.count t.latency > 0 then begin
+    Buffer.add_string buf "latency      usec\n";
+    List.iter
+      (fun (name, q) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-9s %8.1f\n" name
+             (H.quantile q t.latency /. 1e3)))
+      quantiles;
+    Buffer.add_string buf
+      (Printf.sprintf "  %-9s %8.1f\n  %-9s %8.1f\n" "mean"
+         (H.mean t.latency /. 1e3)
+         "max"
+         (H.quantile 1.0 t.latency /. 1e3))
+  end;
+  Buffer.contents buf
+
+let to_json t =
+  let lat name q = Printf.sprintf "\"%s\":%.0f" name (H.quantile q t.latency) in
+  Printf.sprintf
+    "{\"bench\":\"server\",\"scheme\":\"%s\",\"shards\":%d,\
+     \"workers_per_shard\":%d,\"conns\":%d,\"pipeline\":%d,\
+     \"duration_s\":%.3f,\"ops\":%d,\"ok\":%d,\"busy\":%d,\"errors\":%d,\
+     \"throughput_ops_per_s\":%.1f,\"latency_ns\":{%s,\"mean\":%.0f,\
+     \"count\":%d}}\n"
+    t.scheme t.shards t.workers_per_shard t.conns t.pipeline t.elapsed t.ops
+    t.ok t.busy t.errors (throughput t)
+    (String.concat "," (List.map (fun (n, q) -> lat n q) quantiles))
+    (H.mean t.latency) (H.count t.latency)
+
+let write_json ~path t =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc

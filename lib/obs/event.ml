@@ -18,7 +18,23 @@
       pool (OA's retired/processing pools, every scheme's ready pool).
     - {!Alloc_stall} — an allocation slow-path round that had to run
       reclamation because both the ready pool and the bump region were
-      empty. *)
+      empty.
+
+    The [Oa_net] service layer extends the vocabulary with connection and
+    request events so that [--metrics] covers a running server end to end:
+
+    - {!Conn_open} / {!Conn_close} — a client connection accepted /
+      finished (gracefully or on error).
+    - {!Req_enq} — a request accepted into a shard queue.
+    - {!Req_done} — a response produced by a shard worker.
+    - {!Req_busy} — a request rejected with BUSY because its shard queue
+      was full (the backpressure path).
+    - {!Proto_error} — a malformed frame on a connection (the connection
+      is closed after an ERROR response, never an escaped exception).
+
+    The service additionally records [net_queue_depth] (shard queue depth
+    sampled at every dequeue) and [net_batch] (dequeue batch size)
+    histograms through the same recorders. *)
 
 type t =
   | Retire
@@ -29,6 +45,12 @@ type t =
   | Pool_push
   | Pool_pop
   | Alloc_stall
+  | Conn_open
+  | Conn_close
+  | Req_enq
+  | Req_done
+  | Req_busy
+  | Proto_error
 
 let all =
   [
@@ -40,6 +62,12 @@ let all =
     Pool_push;
     Pool_pop;
     Alloc_stall;
+    Conn_open;
+    Conn_close;
+    Req_enq;
+    Req_done;
+    Req_busy;
+    Proto_error;
   ]
 
 let count = List.length all
@@ -53,6 +81,12 @@ let index = function
   | Pool_push -> 5
   | Pool_pop -> 6
   | Alloc_stall -> 7
+  | Conn_open -> 8
+  | Conn_close -> 9
+  | Req_enq -> 10
+  | Req_done -> 11
+  | Req_busy -> 12
+  | Proto_error -> 13
 
 let to_string = function
   | Retire -> "retire"
@@ -63,6 +97,12 @@ let to_string = function
   | Pool_push -> "pool_push"
   | Pool_pop -> "pool_pop"
   | Alloc_stall -> "alloc_stall"
+  | Conn_open -> "conn_open"
+  | Conn_close -> "conn_close"
+  | Req_enq -> "req_enq"
+  | Req_done -> "req_done"
+  | Req_busy -> "req_busy"
+  | Proto_error -> "proto_error"
 
 let of_string s =
   List.find_opt (fun e -> to_string e = s) all

@@ -1,0 +1,3 @@
+external now_ns : unit -> int = "oa_clock_monotonic_ns" [@@noalloc]
+
+let elapsed_s ~since = float_of_int (now_ns () - since) *. 1e-9

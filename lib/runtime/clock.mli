@@ -1,0 +1,16 @@
+(** Monotonic wall time for the real backend and the network layer.
+
+    {!now_ns} reads [CLOCK_MONOTONIC]: it never goes backwards under NTP
+    slews or manual clock adjustment, so durations computed from two
+    readings are trustworthy — which latency histograms and the
+    linearizability checker's timestamp ordering rely on.  Readings are
+    integer nanoseconds from an unspecified origin; only differences are
+    meaningful. *)
+
+val now_ns : unit -> int
+(** The calling thread's monotonic clock, in nanoseconds.  Comparable
+    across domains (one machine clock). *)
+
+val elapsed_s : since:int -> float
+(** [elapsed_s ~since] is the time in seconds since the earlier
+    {!now_ns} reading [since]. *)

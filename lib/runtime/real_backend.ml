@@ -39,17 +39,17 @@ let make ?(max_threads = 128) () : (module Runtime_intf.S) =
       if n > max_threads then
         invalid_arg "Real_backend.par_run: too many threads";
       last_n := n;
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now_ns () in
       let body i () =
         Domain.DLS.set tid_key i;
         f i
       in
       let domains = Array.init n (fun i -> Domain.spawn (body i)) in
       Array.iter Domain.join domains;
-      last_elapsed := Unix.gettimeofday () -. t0
+      last_elapsed := Clock.elapsed_s ~since:t0
 
     let elapsed_seconds () = !last_elapsed
-    let now_cycles () = int_of_float (Unix.gettimeofday () *. 1e9)
+    let now_cycles () = Clock.now_ns ()
     let tid () = Domain.DLS.get tid_key
     let n_threads () = !last_n
     let max_threads = max_threads
@@ -59,9 +59,8 @@ let make ?(max_threads = 128) () : (module Runtime_intf.S) =
          is fine for failure injection. *)
       if c > 100_000 then Unix.sleepf (float_of_int c *. 1e-9)
       else
-        let t0 = Unix.gettimeofday () in
-        let dt = float_of_int c *. 1e-9 in
-        while Unix.gettimeofday () -. t0 < dt do
+        let t0 = Clock.now_ns () in
+        while Clock.now_ns () - t0 < c do
           Domain.cpu_relax ()
         done
   end)

@@ -256,6 +256,15 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     ctx.n_retired <- ctx.n_retired + 1;
     if ctx.n_retired >= ctx.mm.cfg.I.retire_threshold then scan ctx
 
+  (* Two scans: the first records current anchor sequence numbers, the
+     second observes every inactive thread as unchanged-but-idle and frees
+     all nodes retired before it. *)
+  let quiesce ctx =
+    if ctx.n_retired > 0 then begin
+      scan ctx;
+      scan ctx
+    end
+
   let refill ctx =
     let mm = ctx.mm in
     VP.refill ?obs:ctx.o ~arena:mm.arena ~ready:mm.ready

@@ -178,6 +178,17 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     ctx.ops <- ctx.ops + 1;
     if ctx.ops mod ctx.mm.cfg.I.epoch_threshold = 0 then try_advance ctx
 
+  (* Three advance/sweep rounds age every limbo bucket past the two-epoch
+     grace window; with all threads between operations (words inactive)
+     each advance succeeds and the buckets drain completely. *)
+  let quiesce ctx =
+    for _ = 1 to 3 do
+      try_advance ctx;
+      let e = R.read ctx.mm.epoch in
+      if e <> ctx.local_epoch then ctx.local_epoch <- e;
+      free_old_buckets ctx ctx.local_epoch
+    done
+
   let read_ptr _ ~hp:_ cell = R.read cell
   let read_data _ cell = R.read cell
   let protect_move _ ~hp:_ _ = ()

@@ -218,6 +218,10 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     ctx.n_retired <- ctx.n_retired + 1;
     if ctx.n_retired >= ctx.mm.cfg.I.retire_threshold then scan ctx
 
+  (* A threshold-independent scan; at quiescence no hazard slot is set, so
+     everything this thread has retired is freed. *)
+  let quiesce ctx = if ctx.n_retired > 0 then scan ctx
+
   let refill ctx =
     let mm = ctx.mm in
     VP.refill ?obs:ctx.o ~arena:mm.arena ~ready:mm.ready

@@ -98,6 +98,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let retire ctx _ =
     ctx.s_retires <- ctx.s_retires + 1;
     Oa_core.Smr_intf.obs_incr ctx.o Oa_obs.Event.Retire
+
+  let quiesce _ = ()
   let read_ptr _ ~hp:_ cell = R.read cell
   let read_data _ cell = R.read cell
   let protect_move _ ~hp:_ _ = ()

@@ -217,6 +217,9 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     ctx.s_fences <- ctx.s_fences + 1;
     try_free ctx idx
 
+  (* Reclamation is eager (nodes free at release time), nothing buffers. *)
+  let quiesce _ = ()
+
   let refill ctx =
     let mm = ctx.mm in
     (* Reclamation is eager (nodes free at release time and flow into the

@@ -40,6 +40,7 @@ module Make (S : Oa_core.Smr_intf.S) = struct
     { list; buckets; mask = n_buckets - 1 }
 
   let register t = L.register t.list
+  let quiesce (ctx : ctx) = L.quiesce ctx
   let smr t = L.smr t.list
   let n_buckets t = Array.length t.buckets
 

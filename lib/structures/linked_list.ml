@@ -58,6 +58,7 @@ module Make (S : Oa_core.Smr_intf.S) = struct
     { arena; smr; head = alloc_sentinel arena }
 
   let register t = { t; sctx = S.register t.smr }
+  let quiesce ctx = S.quiesce ctx.sctx
   let smr t = t.smr
   let arena t = t.arena
   let head t = t.head

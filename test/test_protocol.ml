@@ -1,0 +1,213 @@
+(* The wire protocol: encode/decode round-trips (property-based) and the
+   totality guarantee — malformed frames come back as [Incomplete] or
+   [Fail], never as an escaped exception. *)
+
+module P = Oa_net.Protocol
+
+(* --- generators --- *)
+
+let gen_id = QCheck.Gen.(map abs int)
+let gen_key = QCheck.Gen.(map abs int)
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> P.Get k) gen_key;
+        map (fun k -> P.Insert k) gen_key;
+        map (fun k -> P.Delete k) gen_key;
+        return P.Stats;
+        return P.Ping;
+      ])
+
+let gen_request =
+  QCheck.Gen.(map2 (fun id op -> { P.id; op }) gen_id gen_op)
+
+let gen_body =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun b -> P.Bool b) bool;
+        return P.Busy;
+        return P.Pong;
+        (* within the encoder's truncation limits, so round-trip is exact *)
+        map (fun s -> P.Error_r s) (string_size (int_bound 200));
+        map
+          (fun l -> P.Stats_r (Array.of_list (List.map abs l)))
+          (list_size (int_bound 32) int);
+      ])
+
+let gen_response =
+  QCheck.Gen.(map2 (fun rid body -> { P.rid; body }) gen_id gen_body)
+
+let show_request r = Printf.sprintf "{id=%d; %s}" r.P.id (P.op_to_string r.P.op)
+
+let show_response r =
+  Printf.sprintf "{rid=%d; %s}" r.P.rid (P.body_to_string r.P.body)
+
+let encode_requests reqs =
+  let buf = Buffer.create 64 in
+  List.iter (P.encode_request buf) reqs;
+  Buffer.to_bytes buf
+
+let encode_responses rs =
+  let buf = Buffer.create 64 in
+  List.iter (P.encode_response buf) rs;
+  Buffer.to_bytes buf
+
+(* --- round-trip properties --- *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request encode/decode round-trip" ~count:1000
+    (QCheck.make ~print:show_request gen_request) (fun req ->
+      let b = encode_requests [ req ] in
+      match P.decode_request b ~off:0 ~avail:(Bytes.length b) with
+      | P.Complete (req', consumed) ->
+          req' = req && consumed = Bytes.length b
+      | P.Incomplete | P.Fail _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response encode/decode round-trip" ~count:1000
+    (QCheck.make ~print:show_response gen_response) (fun r ->
+      let b = encode_responses [ r ] in
+      match P.decode_response b ~off:0 ~avail:(Bytes.length b) with
+      | P.Complete (r', consumed) -> r' = r && consumed = Bytes.length b
+      | P.Incomplete | P.Fail _ -> false)
+
+(* Every strict prefix of a well-formed frame is [Incomplete]: the decoder
+   asks for more bytes instead of failing or mis-parsing. *)
+let prop_prefix_incomplete =
+  QCheck.Test.make ~name:"strict prefixes are Incomplete" ~count:300
+    (QCheck.make ~print:show_request gen_request) (fun req ->
+      let b = encode_requests [ req ] in
+      let ok = ref true in
+      for avail = 0 to Bytes.length b - 1 do
+        match P.decode_request b ~off:0 ~avail with
+        | P.Incomplete -> ()
+        | P.Complete _ | P.Fail _ -> ok := false
+      done;
+      !ok)
+
+(* Pipelined frames decode back in order from a single buffer. *)
+let prop_pipeline_roundtrip =
+  QCheck.Test.make ~name:"pipelined frames decode in order" ~count:200
+    (QCheck.make
+       ~print:(fun l -> String.concat "," (List.map show_request l))
+       QCheck.Gen.(list_size (int_range 1 10) gen_request))
+    (fun reqs ->
+      let b = encode_requests reqs in
+      let rec drain off acc =
+        if off = Bytes.length b then List.rev acc
+        else
+          match P.decode_request b ~off ~avail:(Bytes.length b - off) with
+          | P.Complete (r, n) -> drain (off + n) (r :: acc)
+          | P.Incomplete | P.Fail _ -> List.rev acc
+      in
+      drain 0 [] = reqs)
+
+(* Totality: arbitrary bytes never raise out of the decoders. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"decoders are total on random bytes" ~count:2000
+    QCheck.(string_of_size Gen.(int_bound 64))
+    (fun s ->
+      let b = Bytes.of_string s in
+      let probe decode =
+        match decode b ~off:0 ~avail:(Bytes.length b) with
+        | P.Complete _ | P.Incomplete | P.Fail _ -> true
+      in
+      probe P.decode_request && probe P.decode_response)
+
+(* --- hand-built malformed frames --- *)
+
+let frame payload =
+  let buf = Buffer.create 32 in
+  Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  Buffer.to_bytes buf
+
+let payload ~opcode ~id extra =
+  let buf = Buffer.create 32 in
+  Buffer.add_uint8 buf opcode;
+  Buffer.add_int64_be buf (Int64.of_int id);
+  Buffer.add_string buf extra;
+  Buffer.contents buf
+
+let decode_req b = P.decode_request b ~off:0 ~avail:(Bytes.length b)
+let decode_resp b = P.decode_response b ~off:0 ~avail:(Bytes.length b)
+
+let check_fail name got expected =
+  match got with
+  | P.Fail e -> Alcotest.(check string) name expected (P.error_to_string e)
+  | P.Complete _ -> Alcotest.failf "%s: decoded a malformed frame" name
+  | P.Incomplete -> Alcotest.failf "%s: Incomplete instead of Fail" name
+
+let test_malformed () =
+  (* truncated header: fewer than 4 length bytes *)
+  (match decode_req (Bytes.of_string "\x00\x00\x01") with
+  | P.Incomplete -> ()
+  | _ -> Alcotest.fail "truncated header must be Incomplete");
+  (* oversized declared length *)
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 (Int32.of_int (P.max_payload + 1));
+  check_fail "oversized" (decode_req b)
+    (P.error_to_string (P.Oversized (P.max_payload + 1)));
+  (* undersized declared length (below the 9-byte opcode+id minimum) *)
+  check_fail "undersized"
+    (decode_req (frame "\x01\x00\x00"))
+    (P.error_to_string (P.Undersized 3));
+  (* unknown opcode *)
+  check_fail "unknown opcode"
+    (decode_req (frame (payload ~opcode:99 ~id:7 "")))
+    (P.error_to_string (P.Unknown_opcode 99));
+  (* GET with no key: valid opcode, wrong payload length *)
+  check_fail "GET without key"
+    (decode_req (frame (payload ~opcode:1 ~id:7 "")))
+    (P.error_to_string (P.Bad_length { opcode = 1; length = 9 }));
+  (* STATS request with trailing bytes *)
+  check_fail "STATS with trailing bytes"
+    (decode_req (frame (payload ~opcode:4 ~id:7 "xx")))
+    (P.error_to_string (P.Bad_length { opcode = 4; length = 11 }));
+  (* ERROR response whose inner u16 disagrees with the frame length *)
+  check_fail "ERROR inner length mismatch"
+    (decode_resp (frame (payload ~opcode:4 ~id:7 "\x00\x05ab")))
+    (P.error_to_string (P.Trailing_garbage { expected = 16; length = 13 }));
+  (* STATS response whose count overruns the frame *)
+  check_fail "STATS count overrun"
+    (decode_resp (frame (payload ~opcode:6 ~id:7 "\x00\x03")))
+    (P.error_to_string (P.Trailing_garbage { expected = 35; length = 11 }))
+
+let test_encode_truncation () =
+  (* the encoder clamps oversized variable parts so its output always
+     decodes *)
+  let huge = String.make (P.max_error_msg + 100) 'x' in
+  let b = encode_responses [ { P.rid = 1; body = P.Error_r huge } ] in
+  (match decode_resp b with
+  | P.Complete ({ P.body = P.Error_r m; _ }, _) ->
+      Alcotest.(check int) "clamped to max_error_msg" P.max_error_msg
+        (String.length m)
+  | _ -> Alcotest.fail "clamped ERROR must decode");
+  let wide = Array.make (P.max_stats + 5) 3 in
+  match decode_resp (encode_responses [ { P.rid = 1; body = P.Stats_r wide } ]) with
+  | P.Complete ({ P.body = P.Stats_r vs; _ }, _) ->
+      Alcotest.(check int) "clamped to max_stats" P.max_stats (Array.length vs)
+  | _ -> Alcotest.fail "clamped STATS must decode"
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "roundtrip",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_request_roundtrip;
+            prop_response_roundtrip;
+            prop_prefix_incomplete;
+            prop_pipeline_roundtrip;
+            prop_decode_total;
+          ] );
+      ( "malformed",
+        [
+          Alcotest.test_case "hand-built malformed frames" `Quick test_malformed;
+          Alcotest.test_case "encoder clamps oversized parts" `Quick
+            test_encode_truncation;
+        ] );
+    ]

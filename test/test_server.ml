@@ -1,0 +1,204 @@
+(* Loopback integration: the full stack — protocol, connection handlers,
+   sharded service, SMR scheme, graceful shutdown — against a sequential
+   model.
+
+   Each concurrent client owns a disjoint key range, so its operations on
+   its own keys are totally ordered (one connection, FIFO shard queues)
+   and every response must match a sequential replay: GET k = presence,
+   INSERT k succeeds iff absent, DELETE k succeeds iff present.  A final
+   single-client sweep checks the surviving state key by key, a pipelined
+   batch is in flight while shutdown begins to exercise the drain path,
+   and the post-drain report must show conservation (no reclaim without a
+   matching retire) plus structural validity.  Run for OA, HP and EBR —
+   the schemes whose reclamation actually runs under load. *)
+
+module P = Oa_net.Protocol
+module Sv = Oa_net.Service
+module Srv = Oa_net.Server
+module C = Oa_net.Client
+module Schemes = Oa_smr.Schemes
+
+let keys_per_client = 150
+let n_clients = 3
+let ops_per_client = 400
+let key_range = n_clients * keys_per_client
+
+let connect port = C.connect ~port ()
+
+let get_ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "client error: %s" msg
+
+(* GET every key in [lo..hi]; returns the presence bitmap. *)
+let sweep client ~lo ~hi =
+  let present = Array.make (hi - lo + 1) false in
+  let reqs =
+    List.init (hi - lo + 1) (fun i -> { P.id = lo + i; op = P.Get (lo + i) })
+  in
+  let resps = get_ok (C.call client reqs) in
+  List.iter
+    (fun (r : P.response) ->
+      match r.body with
+      | P.Bool b -> present.(r.rid - lo) <- b
+      | P.Busy -> Alcotest.fail "sweep rejected as BUSY"
+      | b -> Alcotest.failf "sweep: unexpected %s" (P.body_to_string b))
+    resps;
+  present
+
+(* One client's workload over its private keys, checked op by op against
+   the sequential model seeded from the server's own prefill state. *)
+let run_client ~port ~index ~model =
+  let lo = (index * keys_per_client) + 1 in
+  let rng = Oa_util.Splitmix.create (1000 + index) in
+  let client = connect port in
+  let mix = Oa_workload.Op_mix.mutation_40 in
+  let pipeline = 16 in
+  let ops = ref [] in
+  for _ = 1 to ops_per_client / pipeline do
+    let reqs =
+      List.init pipeline (fun i ->
+          let key = lo + Oa_util.Splitmix.below rng keys_per_client in
+          let op =
+            match Oa_workload.Op_mix.draw mix rng with
+            | Oa_workload.Op_mix.Contains -> P.Get key
+            | Oa_workload.Op_mix.Insert -> P.Insert key
+            | Oa_workload.Op_mix.Delete -> P.Delete key
+          in
+          { P.id = (index * 1_000_000) + List.length !ops + i; op })
+    in
+    ops := List.rev_append reqs !ops;
+    let resps = get_ok (C.call client reqs) in
+    let by_id = Hashtbl.create pipeline in
+    List.iter (fun (r : P.response) -> Hashtbl.replace by_id r.rid r.body) resps;
+    (* replay in submission order against the model *)
+    List.iter
+      (fun (req : P.request) ->
+        let body =
+          match Hashtbl.find_opt by_id req.id with
+          | Some b -> b
+          | None -> Alcotest.failf "no response for id %d" req.id
+        in
+        let key, expect, update =
+          match req.op with
+          | P.Get k -> (k, model.(k - 1), fun () -> ())
+          | P.Insert k -> (k, not model.(k - 1), fun () -> model.(k - 1) <- true)
+          | P.Delete k -> (k, model.(k - 1), fun () -> model.(k - 1) <- false)
+          | P.Stats | P.Ping -> assert false
+        in
+        match body with
+        | P.Bool b ->
+            if b <> expect then
+              Alcotest.failf "key %d: %s returned %b, model says %b" key
+                (P.op_to_string req.op) b expect;
+            if b then update ()
+        | P.Busy -> () (* rejected, not executed: model unchanged *)
+        | b -> Alcotest.failf "unexpected %s" (P.body_to_string b))
+      reqs
+  done;
+  C.close client
+
+let run_stack scheme =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let cfg =
+    {
+      Sv.default_config with
+      Sv.scheme;
+      shards = 2;
+      workers_per_shard = 1;
+      prefill = key_range / 2;
+      key_range;
+      delta = 4_000;
+      queue_capacity = 512;
+      dequeue_batch = 16;
+    }
+  in
+  let service = Sv.create cfg in
+  Sv.start service;
+  let server = Srv.create ~port:0 ~service () in
+  let port = Srv.port server in
+  let serving = Domain.spawn (fun () -> Srv.serve server) in
+
+  (* 1. seed the model from the server's own prefill *)
+  let c0 = connect port in
+  let model = sweep c0 ~lo:1 ~hi:key_range in
+  (match get_ok (C.call_one c0 { P.id = 9; op = P.Ping }) with
+  | { P.body = P.Pong; rid = 9 } -> ()
+  | r -> Alcotest.failf "ping: %s" (P.body_to_string r.P.body));
+  (match get_ok (C.call_one c0 { P.id = 8; op = P.Stats }) with
+  | { P.body = P.Stats_r vs; _ } ->
+      Alcotest.(check (option string))
+        "STATS reports the serving scheme"
+        (Some (Schemes.id_name scheme))
+        (Option.map Schemes.id_name (Sv.scheme_of_stats_payload vs))
+  | r -> Alcotest.failf "stats: %s" (P.body_to_string r.P.body));
+  C.close c0;
+
+  (* 2. concurrent clients on disjoint key ranges *)
+  let clients =
+    List.init n_clients (fun index ->
+        Domain.spawn (fun () -> run_client ~port ~index ~model))
+  in
+  List.iter Domain.join clients;
+
+  (* 3. quiescent sweep: surviving state = sequential model, key by key *)
+  let c1 = connect port in
+  let final = sweep c1 ~lo:1 ~hi:key_range in
+  Array.iteri
+    (fun i expected ->
+      if final.(i) <> expected then
+        Alcotest.failf "final state: key %d is %b, model says %b" (i + 1)
+          final.(i) expected)
+    model;
+
+  (* 4. shutdown with a pipelined batch in flight: the handler finishes
+     the batch it read — all responses arrive, then a clean EOF *)
+  let in_flight =
+    List.init 32 (fun i -> { P.id = 5_000_000 + i; op = P.Get ((i mod key_range) + 1) })
+  in
+  C.send c1 in_flight;
+  (* loopback write has landed in the server's receive queue; give the
+     handler a beat, then begin the shutdown with the batch in flight *)
+  Unix.sleepf 0.05;
+  Srv.shutdown server;
+  (match C.recv c1 (List.length in_flight) with
+  | Ok resps ->
+      Alcotest.(check int)
+        "in-flight batch drained" (List.length in_flight) (List.length resps)
+  | Error msg -> Alcotest.failf "in-flight batch lost: %s" msg);
+  C.close c1;
+  Domain.join serving;
+
+  (* 5. post-drain report: conservation and structural validity *)
+  let r = Sv.drain_report service in
+  if not r.Sv.conservation_ok then
+    Alcotest.failf "conservation violated: %s"
+      (Format.asprintf "%a" Sv.pp_report r);
+  (match r.Sv.validation with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "structure validation: %s" e);
+  let model_size = Array.fold_left (fun n b -> if b then n + 1 else n) 0 model in
+  Alcotest.(check int)
+    "table size = model cardinality" model_size
+    (Array.fold_left ( + ) 0 r.Sv.sizes);
+  (* every enqueued request was executed before the workers left *)
+  let sink = Sv.sink service in
+  Alcotest.(check int)
+    "Req_enq = Req_done after drain"
+    (Oa_obs.Sink.total sink Oa_obs.Event.Req_enq)
+    (Oa_obs.Sink.total sink Oa_obs.Event.Req_done);
+  Alcotest.(check bool) "no exec errors" true (r.Sv.exec_errors = 0)
+
+let case scheme =
+  Alcotest.test_case (Schemes.id_name scheme) `Quick (fun () ->
+      run_stack scheme)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "loopback",
+        [
+          case Schemes.Optimistic_access;
+          case Schemes.Hazard_pointers;
+          case Schemes.Epoch_based;
+        ] );
+    ]
