@@ -41,6 +41,17 @@ test -s BENCH_server.json
 echo "== BENCH_server.json"
 cat BENCH_server.json
 
+# Core benchmark smoke (docs/performance.md): bounded flat-vs-boxed
+# hash-table throughput sweep on the real backends.  Emits BENCH_core.json
+# (uploaded as a CI artifact) and exits nonzero if retire/recycle
+# conservation is violated on either substrate.
+echo "== bench-core smoke"
+dune exec bin/oa_cli.exe -- bench-core --schemes oa,hp,ebr \
+  --domains 1,2,4,8 --ops 60000 --json BENCH_core.json
+test -s BENCH_core.json
+echo "== BENCH_core.json"
+cat BENCH_core.json
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"
   dune build @fmt

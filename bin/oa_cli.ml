@@ -5,6 +5,7 @@
    oa_cli check [options]        explore schedules for SMR violations
    oa_cli serve [options]        serve the sharded hash table over TCP
    oa_cli loadgen [options]      drive a server and report latency
+   oa_cli bench-core [options]   flat-vs-boxed real-backend throughput
    oa_cli schemes                list the available SMR schemes *)
 
 module E = Oa_harness.Experiment
@@ -104,7 +105,11 @@ let run_cmd =
   let backend =
     Arg.(
       value & opt string "sim"
-      & info [ "backend" ] ~doc:"Backend: sim (default), sim-xeon, or real.")
+      & info [ "backend" ]
+          ~doc:
+            "Backend: sim (default), sim-xeon, real (domains over the flat \
+             cache-aligned arena), or real-boxed (domains over boxed \
+             atomics, the A/B baseline; see docs/performance.md).")
   in
   let metrics =
     Arg.(
@@ -140,6 +145,7 @@ let run_cmd =
     let backend =
       match backend with
       | "real" -> E.Real
+      | "real-boxed" -> E.Real_boxed
       | "sim-xeon" -> E.Sim { cost_model = CM.intel_xeon; quantum = 128 }
       | _ -> E.Sim { cost_model = CM.amd_opteron; quantum = 128 }
     in
@@ -765,6 +771,173 @@ let loadgen_cmd =
       const run $ host $ port $ conns $ pipeline $ duration $ mix $ keys
       $ seed $ json)
 
+(* --- bench-core --- *)
+
+(* Multi-domain hash-table throughput on the two real backends (flat
+   cache-aligned arena vs boxed atomics), the perf trajectory the repo
+   tracks across PRs via BENCH_core.json (docs/performance.md). *)
+let bench_core_cmd =
+  let int_list_conv ~what =
+    let parse s =
+      try
+        let l = List.map int_of_string (String.split_on_char ',' s) in
+        if l = [] || List.exists (fun n -> n <= 0) l then failwith "bad"
+        else Ok l
+      with _ ->
+        Error (`Msg (Printf.sprintf "%s must be like 1,2,4,8" what))
+    in
+    Arg.conv
+      ( parse,
+        fun ppf l ->
+          Format.pp_print_string ppf
+            (String.concat "," (List.map string_of_int l)) )
+  in
+  let schemes =
+    let scheme_list_conv =
+      let parse s =
+        let names = String.split_on_char ',' s in
+        let ids = List.filter_map Schemes.id_of_name names in
+        if List.length ids = List.length names && ids <> [] then Ok ids
+        else Error (`Msg (Printf.sprintf "bad scheme list %S" s))
+      in
+      Arg.conv
+        ( parse,
+          fun ppf ids ->
+            Format.pp_print_string ppf
+              (String.concat "," (List.map Schemes.id_name ids)) )
+    in
+    Arg.(
+      value
+      & opt scheme_list_conv
+          Schemes.[ Optimistic_access; Hazard_pointers; Epoch_based ]
+      & info [ "schemes" ] ~docv:"LIST"
+          ~doc:"Comma-separated SMR schemes to measure (default oa,hp,ebr).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (int_list_conv ~what:"domains") [ 1; 2; 4; 8 ]
+      & info [ "domains" ] ~docv:"LIST"
+          ~doc:"Comma-separated domain counts (default 1,2,4,8).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200_000
+      & info [ "ops"; "n" ] ~doc:"Total operations per point.")
+  in
+  let prefill =
+    Arg.(value & opt int 1_000 & info [ "prefill"; "p" ] ~doc:"Initial size.")
+  in
+  let repeats =
+    Arg.(value & opt int 1 & info [ "repeats" ] ~doc:"Repetitions per point.")
+  in
+  let json =
+    Arg.(
+      value & opt string "BENCH_core.json"
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Machine-readable result; $(b,-) suppresses the file.")
+  in
+  let run schemes domains ops prefill repeats json =
+    let point scheme backend threads =
+      let spec =
+        {
+          E.default_spec with
+          E.structure = E.Hash_table;
+          scheme;
+          threads;
+          prefill;
+          total_ops = ops;
+          seed = 42;
+          backend;
+        }
+      in
+      let results = E.run_repeated ~repeats spec in
+      let tps = List.map (fun r -> r.E.throughput) results in
+      let mean = List.fold_left ( +. ) 0.0 tps /. float_of_int repeats in
+      let stats =
+        List.fold_left
+          (fun acc r -> Oa_core.Smr_intf.add_stats acc r.E.smr_stats)
+          Oa_core.Smr_intf.empty_stats results
+      in
+      (mean, stats)
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"benchmark\": \"core_hash_throughput\",\n";
+    Printf.bprintf buf "  \"ops\": %d,\n" ops;
+    Printf.bprintf buf "  \"prefill\": %d,\n" prefill;
+    Printf.bprintf buf "  \"repeats\": %d,\n" repeats;
+    Printf.bprintf buf "  \"host_cores\": %d,\n"
+      (Domain.recommended_domain_count ());
+    Buffer.add_string buf "  \"points\": [\n";
+    Format.printf "hash-table throughput, flat vs boxed real backend@.";
+    Format.printf "%-8s %8s %12s %12s %8s@." "scheme" "domains" "boxed Mops"
+      "flat Mops" "ratio";
+    let first = ref true in
+    let ratios = ref [] in
+    List.iter
+      (fun scheme ->
+        List.iter
+          (fun n ->
+            let boxed, _ = point scheme E.Real_boxed n in
+            let flat, st = point scheme E.Real n in
+            let conservation_ok =
+              st.Oa_core.Smr_intf.recycled <= st.Oa_core.Smr_intf.retires
+            in
+            if not conservation_ok then begin
+              Format.eprintf
+                "bench-core: conservation violated for %s at %d domains \
+                 (recycled %d > retired %d)@."
+                (Schemes.id_name scheme) n st.Oa_core.Smr_intf.recycled
+                st.Oa_core.Smr_intf.retires;
+              exit 1
+            end;
+            let ratio = flat /. boxed in
+            ratios := ((scheme, n), ratio) :: !ratios;
+            Format.printf "%-8s %8d %12.3f %12.3f %7.2fx@."
+              (Schemes.id_name scheme) n (boxed /. 1e6) (flat /. 1e6) ratio;
+            List.iter
+              (fun (backend_name, mops) ->
+                if !first then first := false
+                else Buffer.add_string buf ",\n";
+                Printf.bprintf buf
+                  "    {\"scheme\": \"%s\", \"backend\": \"%s\", \
+                   \"domains\": %d, \"mops\": %.4f}"
+                  (Schemes.id_name scheme) backend_name n (mops /. 1e6))
+              [ ("real-boxed", boxed); ("real", flat) ])
+          domains)
+      schemes;
+    Buffer.add_string buf "\n  ],\n";
+    let max_domains = List.fold_left max 1 domains in
+    let at_max =
+      List.filter_map
+        (fun ((s, n), r) -> if n = max_domains then Some (s, r) else None)
+        !ratios
+    in
+    Buffer.add_string buf "  \"flat_over_boxed_at_max_domains\": {";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun (s, r) ->
+              Printf.sprintf "\"%s\": %.3f" (Schemes.id_name s) r)
+            at_max));
+    Buffer.add_string buf "},\n";
+    Buffer.add_string buf "  \"conservation_ok\": true\n}\n";
+    if json <> "-" then begin
+      let oc = open_out json in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.printf "wrote %s@." json
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-core"
+       ~doc:
+         "Multi-domain hash-table throughput of the real backends: flat \
+          cache-aligned arena vs boxed atomics, per scheme and domain \
+          count, with a JSON summary (BENCH_core.json).")
+    Term.(const run $ schemes $ domains $ ops $ prefill $ repeats $ json)
+
 (* --- schemes --- *)
 
 let schemes_cmd =
@@ -786,4 +959,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; figure_cmd; check_cmd; serve_cmd; loadgen_cmd; schemes_cmd ]))
+          [
+            run_cmd;
+            figure_cmd;
+            check_cmd;
+            serve_cmd;
+            loadgen_cmd;
+            bench_core_cmd;
+            schemes_cmd;
+          ]))

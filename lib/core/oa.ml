@@ -113,11 +113,18 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         o = Oa_obs.Sink.register mm.obs;
       }
     in
-    let rec add () =
+    (* Registration CASes contend when many threads start at once; back
+       off exponentially between retries instead of hammering the line. *)
+    let rec add backoff =
       let l = R.rread mm.registry in
-      if not (R.rcas mm.registry l (ctx :: l)) then add ()
+      if not (R.rcas mm.registry l (ctx :: l)) then begin
+        for _ = 1 to backoff do
+          R.cpu_relax ()
+        done;
+        add (min (2 * backoff) 256)
+      end
     in
-    add ();
+    add 1;
     ctx
 
   let op_begin _ = ()

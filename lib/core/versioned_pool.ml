@@ -37,21 +37,37 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
   let snapshot t = R.rread t
   let version t = (R.rread t).ver
 
+  (* CAS retry loops back off exponentially with the backend's spin-wait
+     hint: under contention a tight retry keeps the pool's cache line in a
+     ping-pong, starving the CAS that would succeed. *)
+  let backoff n =
+    for _ = 1 to n do
+      R.cpu_relax ()
+    done;
+    min (2 * n) 256
+
   (* Retry only when the failure is contention at the same version; a
      version change surfaces as [`Mismatch]. *)
-  let rec push t ~ver c =
-    let s = R.rread t in
-    if s.ver <> ver then `Mismatch
-    else if R.rcas t s { chunks = c :: s.chunks; ver } then `Ok
-    else push t ~ver c
+  let push t ~ver c =
+    let rec go n =
+      let s = R.rread t in
+      if s.ver <> ver then `Mismatch
+      else if R.rcas t s { chunks = c :: s.chunks; ver } then `Ok
+      else go (backoff n)
+    in
+    go 1
 
-  let rec pop t ~ver =
-    let s = R.rread t in
-    if s.ver <> ver then `Mismatch
-    else
-      match s.chunks with
-      | [] -> `Empty
-      | c :: rest -> if R.rcas t s { chunks = rest; ver } then `Ok c else pop t ~ver
+  let pop t ~ver =
+    let rec go n =
+      let s = R.rread t in
+      if s.ver <> ver then `Mismatch
+      else
+        match s.chunks with
+        | [] -> `Empty
+        | c :: rest ->
+            if R.rcas t s { chunks = rest; ver } then `Ok c else go (backoff n)
+    in
+    go 1
 
   let cas_state t ~expected s = R.rcas t expected s
 
@@ -76,15 +92,24 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
 
     let create () = create ()
 
-    let rec push t c =
-      let s = R.rread t in
-      if R.rcas t s { s with chunks = c :: s.chunks } then () else push t c
+    let push t c =
+      let rec go n =
+        let s = R.rread t in
+        if R.rcas t s { s with chunks = c :: s.chunks } then ()
+        else go (backoff n)
+      in
+      go 1
 
-    let rec pop t =
-      let s = R.rread t in
-      match s.chunks with
-      | [] -> None
-      | c :: rest -> if R.rcas t s { s with chunks = rest } then Some c else pop t
+    let pop t =
+      let rec go n =
+        let s = R.rread t in
+        match s.chunks with
+        | [] -> None
+        | c :: rest ->
+            if R.rcas t s { s with chunks = rest } then Some c
+            else go (backoff n)
+      in
+      go 1
   end
 
   (** The allocation slow path shared by every reclaiming scheme: take a

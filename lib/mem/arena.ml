@@ -14,16 +14,21 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
   type t = {
     n_fields : int;
     capacity : int;
-    cells : R.cell array array;  (* indexed [field].(node) *)
+    nodes : R.cell array array;  (* indexed [node].(field) *)
     bump : R.cell;
   }
 
   let create ~capacity ~n_fields =
     if capacity <= 0 || n_fields <= 0 then invalid_arg "Arena.create";
+    (* [node_cells] returns the backend's node-major storage indexed
+       [field].(node); transpose the handle matrix to node-major indexing
+       so the per-node field array exists once, ready for [field] lookups
+       and for handing a whole node to [R.zero_cells]. *)
+    let m = R.node_cells ~nodes:capacity ~fields:n_fields in
     {
       n_fields;
       capacity;
-      cells = R.node_cells ~nodes:capacity ~fields:n_fields;
+      nodes = Array.init capacity (fun j -> Array.init n_fields (fun f -> m.(f).(j)));
       bump = R.cell 0;
     }
 
@@ -32,7 +37,7 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
 
   (** [field t p f] is the cell of field [f] of the node [p] points to.
       [p] must be unmarked and non-null. *)
-  let field t p f = t.cells.(f).(Ptr.index p)
+  let field t p f = t.nodes.(Ptr.index p).(f)
 
   let read t p f = R.read (field t p f)
   let write t p f v = R.write (field t p f) v
@@ -47,10 +52,8 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
   let bump_used t = min (R.read t.bump) t.capacity
 
   (** Zero all fields of a node, as the paper's allocator does
-      ([memset(obj, 0)] in Algorithm 5). *)
-  let zero_node t p =
-    let i = Ptr.index p in
-    for f = 0 to t.n_fields - 1 do
-      R.write t.cells.(f).(i) 0
-    done
+      ([memset(obj, 0)] in Algorithm 5): one bulk fill on backends whose
+      node fields are contiguous words (the flat real backend), per-cell
+      writes elsewhere. *)
+  let zero_node t p = R.zero_cells t.nodes.(Ptr.index p)
 end

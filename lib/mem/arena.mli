@@ -39,5 +39,8 @@ module Make (R : Oa_runtime.Runtime_intf.S) : sig
 
   val zero_node : t -> Ptr.t -> unit
   (** Zero all fields of a node, as the paper's allocator does
-      ([memset(obj, 0)] in Algorithm 5). *)
+      ([memset(obj, 0)] in Algorithm 5): one bulk fill over the node's
+      contiguous words on the flat real backend, per-cell writes on the
+      other backends.  Racing optimistic readers observe each field either
+      old or zero, never torn. *)
 end

@@ -1,22 +1,178 @@
-(** Real backend over OCaml 5 [Domain]s and [Atomic]s.
+(** Real backend over OCaml 5 [Domain]s.
 
     Gives the library a genuinely concurrent implementation: logical
-    threads are domains, cells are [Atomic.t] values.  Wall-clock timings
-    from this backend are only meaningful on a machine with enough cores;
+    threads are domains.  Two cell substrates are provided behind the same
+    {!Runtime_intf.S} signature:
+
+    - {!make} (the default, ["real"]): cells are words of a flat,
+      contiguous, 64-byte-aligned {!Flat_mem} arena.  [node_cells] is
+      node-major with the stride padded to a cache-line multiple, so all
+      fields of a node share a line and neighbouring nodes (and each
+      thread's hazard/warning block) never false-share; standalone cells
+      get a full line each.  Reads are plain inlined loads — the paper's
+      barrier-free optimistic read — and all mutating operations are
+      seq_cst C atomics.
+
+    - {!make_boxed} (["real-boxed"]): the historical substrate where every
+      cell is a separate boxed [Atomic.t], kept for A/B measurement of what
+      the flat layout buys (see docs/performance.md).  It cannot honour the
+      [node_cells] layout contract: fields of one node land on whatever
+      cache lines the GC picks.
+
+    Both variants implement [fence] as a genuine
+    [atomic_thread_fence(seq_cst)] (no shared fence cell, so concurrent
+    fences do not contend) and [cpu_relax] as the hardware spin-wait hint.
+    Wall-clock timings are only meaningful on a machine with enough cores;
     correctness under true preemption holds on any machine. *)
 
 let tid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
 
-let make ?(max_threads = 128) () : (module Runtime_intf.S) =
+(* Domain management shared by both cell substrates. *)
+module Threads (M : sig
+  val max_threads : int
+end) =
+struct
+  let max_threads = M.max_threads
+  let last_elapsed = ref 0.0
+  let last_n = ref 0
+
+  let par_run ~n f =
+    if n > max_threads then
+      invalid_arg "Real_backend.par_run: too many threads";
+    last_n := n;
+    let t0 = Clock.now_ns () in
+    let body i () =
+      Domain.DLS.set tid_key i;
+      f i
+    in
+    let domains = Array.init n (fun i -> Domain.spawn (body i)) in
+    Array.iter Domain.join domains;
+    last_elapsed := Clock.elapsed_s ~since:t0
+
+  let elapsed_seconds () = !last_elapsed
+  let now_cycles () = Clock.now_ns ()
+  let tid () = Domain.DLS.get tid_key
+  let n_threads () = !last_n
+
+  let stall c =
+    (* Approximate [c] nanoseconds; granularity of sleep is coarse, which
+       is fine for failure injection. *)
+    if c > 100_000 then Unix.sleepf (float_of_int c *. 1e-9)
+    else
+      let t0 = Clock.now_ns () in
+      while Clock.now_ns () - t0 < c do
+        Domain.cpu_relax ()
+      done
+
+  let work _ = ()
+  let op_work () = ()
+  let fence () = Flat_mem.fence ()
+  let cpu_relax () = Flat_mem.cpu_relax ()
+
+  (* Boxed rcells serve both variants: chunk lists, registries and other
+     pool states are OCaml values and stay in the GC heap. *)
+  type 'a rcell = 'a Atomic.t
+
+  let rcell v = Atomic.make v
+  let rread r = Atomic.get r
+  let rwrite r v = Atomic.set r v
+  let rcas r e v = Atomic.compare_and_set r e v
+end
+
+let make ?(max_threads = 128) ?(arena_words = 1 lsl 27) () :
+    (module Runtime_intf.S) =
   (module struct
     let name = "real"
 
+    include Threads (struct
+      let max_threads = max_threads
+    end)
+
+    (* A cell is a word offset into this backend's single contiguous
+       arena — an immediate int, so cells, hazard-slot arrays and the node
+       matrix are all GC-scan-free, and a cell access is one indexed load
+       with no per-cell heap object.  The reservation is lazily committed
+       (pages cost resident memory only when touched), so the generous
+       default — 2^27 words, 1 GiB of address space — is near-free. *)
+    type cell = int
+
+    let arena = Flat_mem.alloc ~words:arena_words
+    let bump = Atomic.make 0
+
+    (* All carves are whole cache lines, so every carve is line-aligned
+       within the 64-byte-aligned arena. *)
+    let carve words =
+      let off = Atomic.fetch_and_add bump words in
+      if off + words > Flat_mem.length arena then
+        failwith
+          "Real_backend: flat arena reservation exhausted (raise \
+           ?arena_words)";
+      off
+
+    (* Standalone cells get a full line each: no two independently
+       allocated cells ever false-share. *)
+    let cell v =
+      let off = carve Flat_mem.line_words in
+      Flat_mem.store arena off v;
+      off
+
+    (* Node-major layout (the Runtime_intf contract): node [j]'s fields
+       are words [base + j*stride .. base + j*stride + fields - 1], with
+       [stride] padded to a whole number of cache lines — all fields of a
+       node share a line, neighbouring nodes never do.  The mapping hands
+       out zero pages, satisfying the all-cells-start-at-0 contract. *)
+    let node_cells ~nodes ~fields =
+      if nodes <= 0 || fields <= 0 then
+        invalid_arg "Real_backend.node_cells";
+      let lw = Flat_mem.line_words in
+      let stride = (fields + lw - 1) / lw * lw in
+      let base = carve (nodes * stride) in
+      Array.init fields (fun f ->
+          Array.init nodes (fun j -> base + (j * stride) + f))
+
+    (* Reads and writes are plain inlined word accesses — the paper's
+       memory model: no per-access barrier, single-copy atomic at the ISA
+       level, ordered only by the explicit fences and seq_cst RMWs the
+       SMR schemes already issue (each a C call, hence also a compiler
+       barrier).  This keeps the per-read hazard-slot store of HP and the
+       warning-word check of OA inlined rather than a C call each. *)
+    let read c = Flat_mem.get arena c
+    let read_own = read
+    let write c v = Flat_mem.set arena c v
+    let cas c e v = Flat_mem.cas arena c e v
+    let faa c d = Flat_mem.faa arena c d
+
+    let zero_cells (a : cell array) =
+      let n = Array.length a in
+      if n > 0 then begin
+        let c0 = a.(0) in
+        let contiguous = ref true in
+        for i = 1 to n - 1 do
+          if a.(i) <> c0 + i then contiguous := false
+        done;
+        if !contiguous then Flat_mem.fill arena c0 n 0
+        else Array.iter (fun c -> write c 0) a
+      end
+  end)
+
+let make_boxed ?(max_threads = 128) () : (module Runtime_intf.S) =
+  (module struct
+    let name = "real-boxed"
+
+    include Threads (struct
+      let max_threads = max_threads
+    end)
+
     type cell = int Atomic.t
-    type 'a rcell = 'a Atomic.t
 
     let cell v = Atomic.make v
 
+    (* No layout control: every cell is its own GC object, so one node's
+       fields land on different cache lines (kept as the A/B baseline the
+       flat backend is measured against). *)
     let node_cells ~nodes ~fields =
+      if nodes <= 0 || fields <= 0 then
+        invalid_arg "Real_backend.node_cells";
       Array.init fields (fun _ -> Array.init nodes (fun _ -> Atomic.make 0))
 
     let read = Atomic.get
@@ -24,43 +180,5 @@ let make ?(max_threads = 128) () : (module Runtime_intf.S) =
     let write c v = Atomic.set c v
     let cas c e v = Atomic.compare_and_set c e v
     let faa c d = Atomic.fetch_and_add c d
-    let fence_cell = Atomic.make 0
-    let fence () = ignore (Atomic.fetch_and_add fence_cell 0)
-    let rcell v = Atomic.make v
-    let rread r = Atomic.get r
-    let rwrite r v = Atomic.set r v
-    let rcas r e v = Atomic.compare_and_set r e v
-    let work _ = ()
-    let op_work () = ()
-    let last_elapsed = ref 0.0
-    let last_n = ref 0
-
-    let par_run ~n f =
-      if n > max_threads then
-        invalid_arg "Real_backend.par_run: too many threads";
-      last_n := n;
-      let t0 = Clock.now_ns () in
-      let body i () =
-        Domain.DLS.set tid_key i;
-        f i
-      in
-      let domains = Array.init n (fun i -> Domain.spawn (body i)) in
-      Array.iter Domain.join domains;
-      last_elapsed := Clock.elapsed_s ~since:t0
-
-    let elapsed_seconds () = !last_elapsed
-    let now_cycles () = Clock.now_ns ()
-    let tid () = Domain.DLS.get tid_key
-    let n_threads () = !last_n
-    let max_threads = max_threads
-
-    let stall c =
-      (* Approximate [c] nanoseconds; granularity of sleep is coarse, which
-         is fine for failure injection. *)
-      if c > 100_000 then Unix.sleepf (float_of_int c *. 1e-9)
-      else
-        let t0 = Clock.now_ns () in
-        while Clock.now_ns () - t0 < c do
-          Domain.cpu_relax ()
-        done
+    let zero_cells a = Array.iter (fun c -> Atomic.set c 0) a
   end)

@@ -9,22 +9,37 @@
 
 module type S = sig
   val name : string
-  (** Backend identifier, ["sim"] or ["real"]. *)
+  (** Backend identifier: ["sim"], ["real"] (flat arena) or ["real-boxed"]. *)
 
   type cell
-  (** An int-valued shared memory location supporting atomic operations. *)
+  (** An int-valued shared memory location supporting atomic operations.
+      Representation is backend-owned: a line/value pair charged by the
+      cache cost model on the sim backend, a [(buffer, offset)] handle into
+      one contiguous 64-byte-aligned word arena on the flat real backend,
+      and a boxed [Atomic.t] on the boxed real backend. *)
 
   type 'a rcell
   (** A shared location holding a boxed OCaml value; [rcas] compares with
       physical equality, like [Atomic.t] on heap values. *)
 
   val cell : int -> cell
-  (** Allocate a cell on its own cache line. *)
+  (** Allocate a cell on its own cache line.  Guaranteed by the sim backend
+      (fresh modelled line) and the flat real backend (a full 64-byte line
+      per standalone cell); the boxed real backend allocates a heap
+      [Atomic.t] whose placement is up to the GC. *)
 
   val node_cells : nodes:int -> fields:int -> cell array array
-  (** [node_cells ~nodes ~fields] allocates storage for [nodes] simulated
-      heap nodes of [fields] words each; all fields of a node share a cache
-      line.  Indexed [field].(node). *)
+  (** [node_cells ~nodes ~fields] allocates storage for [nodes] heap nodes
+      of [fields] words each, laid out {e node-major}: all fields of one
+      node share a cache line, and distinct nodes never share one.  Indexed
+      [field].(node).  The sim backend models this by putting each node's
+      fields on one costed line; the flat real backend delivers it
+      physically ([base = node * stride], stride padded to a cache-line
+      multiple, from one contiguous buffer — so a per-thread hazard/warning
+      block allocated as [node_cells ~nodes:1] occupies its own padded
+      region).  The boxed real backend cannot honour the layout contract
+      (every cell is a separate GC object on whatever line the allocator
+      picks); it is kept only as an A/B baseline for the flat backend. *)
 
   val read : cell -> int
 
@@ -36,6 +51,11 @@ module type S = sig
       the real backend. *)
 
   val write : cell -> int -> unit
+  (** Plain word store.  Single-copy atomic (a racing {!read} returns the
+      old or the new value, never a torn word) but carries no ordering of
+      its own: publication is by the seq_cst {!cas}/{!faa} that follows
+      it, or an explicit {!fence} — the paper's plain-write /
+      explicit-fence memory model. *)
 
   val cas : cell -> int -> int -> bool
   (** [cas c expected v] — atomic compare-and-swap. *)
@@ -44,7 +64,22 @@ module type S = sig
   (** [faa c d] — atomic fetch-and-add, returns the previous value. *)
 
   val fence : unit -> unit
-  (** Full memory fence. *)
+  (** Full memory fence.  On the real backends this is a genuine
+      [atomic_thread_fence(seq_cst)] touching no shared location, so
+      concurrent fences do not contend; the sim backend charges
+      {!Oa_simrt.Cost_model.t.fence} and yields. *)
+
+  val zero_cells : cell array -> unit
+  (** Zero every cell of the array.  When the cells are one node's fields
+      (one [node_cells] column), the flat real backend issues a single bulk
+      fill over their contiguous words — the [memset(obj, 0)] of the
+      paper's Algorithm 5 — with word-granular stores so racing optimistic
+      readers never observe a torn word; other backends write each cell. *)
+
+  val cpu_relax : unit -> unit
+  (** Spin-wait hint for CAS retry backoff ([pause]/[yield]).  A no-op on
+      the sim backend: simulated schedules must not depend on real-time
+      backoff, and a failed simulated CAS is already a scheduling point. *)
 
   val rcell : 'a -> 'a rcell
   val rread : 'a rcell -> 'a

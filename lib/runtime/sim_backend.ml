@@ -29,6 +29,10 @@ let of_sched ?(max_threads = 128) ?trace sched0 : (module Runtime_intf.S) =
     let cas c e v = Smem.cas mem c e v
     let faa c d = Smem.faa mem c d
     let fence () = Smem.fence mem
+    let zero_cells cells = Array.iter (fun c -> Smem.write mem c 0) cells
+
+    (* Deterministic schedules must not depend on wall-clock backoff. *)
+    let cpu_relax () = ()
     let rcell v = Smem.rcell mem v
     let rread r = Smem.rread mem r
     let rwrite r v = Smem.rwrite mem r v

@@ -1,9 +1,18 @@
-(* Tests for the real (OCaml domains + atomics) backend. *)
+(* Tests for the real (OCaml domains) backend, run against both cell
+   substrates: the flat arena ("real") and boxed atomics ("real-boxed"). *)
 
 module Rb = Oa_runtime.Real_backend
 
-let test_cells () =
-  let r = Rb.make () in
+type mk = ?max_threads:int -> unit -> (module Oa_runtime.Runtime_intf.S)
+
+let variants : (string * mk) list =
+  [
+    ("flat", fun ?max_threads () -> Rb.make ?max_threads ());
+    ("boxed", fun ?max_threads () -> Rb.make_boxed ?max_threads ());
+  ]
+
+let test_cells (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   let c = R.cell 5 in
   Alcotest.(check int) "read" 5 (R.read c);
@@ -15,8 +24,8 @@ let test_cells () =
   Alcotest.(check int) "after faa" 10 (R.read c);
   Alcotest.(check int) "read_own" 10 (R.read_own c)
 
-let test_rcells () =
-  let r = Rb.make () in
+let test_rcells (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   let v1 = ref 1 and v2 = ref 2 in
   let rc = R.rcell v1 in
@@ -26,8 +35,8 @@ let test_rcells () =
   R.rwrite rc v1;
   Alcotest.(check bool) "rwrite" true (R.rread rc == v1)
 
-let test_par_run_tids () =
-  let r = Rb.make () in
+let test_par_run_tids (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   let seen = Array.make 4 (-1) in
   R.par_run ~n:4 (fun tid -> seen.(tid) <- R.tid ());
@@ -37,8 +46,8 @@ let test_par_run_tids () =
   Alcotest.(check int) "outside run" (-1) (R.tid ());
   Alcotest.(check int) "n_threads recorded" 4 (R.n_threads ())
 
-let test_par_run_concurrent_faa () =
-  let r = Rb.make () in
+let test_par_run_concurrent_faa (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   let c = R.cell 0 in
   R.par_run ~n:4 (fun _ ->
@@ -47,52 +56,63 @@ let test_par_run_concurrent_faa () =
       done);
   Alcotest.(check int) "no lost increments" 40_000 (R.read c)
 
-let test_par_run_concurrent_cas () =
-  let r = Rb.make () in
+let test_par_run_concurrent_cas (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   let c = R.cell 0 in
   R.par_run ~n:4 (fun _ ->
       for _ = 1 to 2_000 do
-        let rec go () =
+        let rec go backoff =
           let v = R.read c in
-          if not (R.cas c v (v + 1)) then go ()
+          if not (R.cas c v (v + 1)) then begin
+            for _ = 1 to backoff do
+              R.cpu_relax ()
+            done;
+            go (min (2 * backoff) 64)
+          end
         in
-        go ()
+        go 1
       done);
   Alcotest.(check int) "cas loop correct" 8_000 (R.read c)
 
-let test_elapsed_positive () =
-  let r = Rb.make () in
+let test_elapsed_positive (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   R.par_run ~n:2 (fun _ -> R.stall 1_000_000 (* ~1ms *));
   Alcotest.(check bool) "elapsed measured" true (R.elapsed_seconds () > 0.0)
 
-let test_max_threads_enforced () =
-  let r = Rb.make ~max_threads:2 () in
+let test_max_threads_enforced
+    (mk : max_threads:int -> unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk ~max_threads:2 () in
   let module R = (val r) in
   Alcotest.check_raises "too many threads"
     (Invalid_argument "Real_backend.par_run: too many threads") (fun () ->
       R.par_run ~n:3 (fun _ -> ()))
 
-let test_work_and_op_work_are_noops () =
-  let r = Rb.make () in
+let test_work_and_op_work_are_noops (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   R.work 1_000_000;
   R.op_work ();
+  R.fence ();
+  R.cpu_relax ();
   Alcotest.(check pass) "no effect" () ()
 
-let test_node_cells_shape () =
-  let r = Rb.make () in
+let test_node_cells_shape (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   let cells = R.node_cells ~nodes:3 ~fields:2 in
   Alcotest.(check int) "fields" 2 (Array.length cells);
   Alcotest.(check int) "nodes" 3 (Array.length cells.(0));
   R.write cells.(1).(2) 9;
   Alcotest.(check int) "independent slots" 0 (R.read cells.(0).(2));
-  Alcotest.(check int) "written slot" 9 (R.read cells.(1).(2))
+  Alcotest.(check int) "written slot" 9 (R.read cells.(1).(2));
+  (* zero_cells over one node's fields restores the initial state *)
+  R.zero_cells (Array.init 2 (fun f -> cells.(f).(2)));
+  Alcotest.(check int) "zeroed" 0 (R.read cells.(1).(2))
 
-let test_sequential_par_runs () =
-  let r = Rb.make () in
+let test_sequential_par_runs (mk : unit -> (module Oa_runtime.Runtime_intf.S)) () =
+  let r = mk () in
   let module R = (val r) in
   let c = R.cell 0 in
   R.par_run ~n:2 (fun _ -> ignore (R.faa c 1));
@@ -100,23 +120,33 @@ let test_sequential_par_runs () =
   Alcotest.(check int) "both runs executed" 5 (R.read c)
 
 let () =
+  let cases name test =
+    List.map
+      (fun (tag, mk) ->
+        Alcotest.test_case
+          (Printf.sprintf "%s (%s)" name tag)
+          `Quick (test mk))
+      variants
+  in
   Alcotest.run "real_backend"
     [
       ( "cells",
-        [
-          Alcotest.test_case "int cells" `Quick test_cells;
-          Alcotest.test_case "boxed cells" `Quick test_rcells;
-          Alcotest.test_case "node cells" `Quick test_node_cells_shape;
-        ] );
+        cases "word cells" (fun mk -> test_cells (fun () -> mk ()))
+        @ cases "boxed rcells" (fun mk -> test_rcells (fun () -> mk ()))
+        @ cases "node cells" (fun mk ->
+              test_node_cells_shape (fun () -> mk ())) );
       ( "domains",
-        [
-          Alcotest.test_case "tids" `Quick test_par_run_tids;
-          Alcotest.test_case "concurrent faa" `Quick test_par_run_concurrent_faa;
-          Alcotest.test_case "concurrent cas" `Quick test_par_run_concurrent_cas;
-          Alcotest.test_case "elapsed" `Quick test_elapsed_positive;
-          Alcotest.test_case "max threads" `Quick test_max_threads_enforced;
-          Alcotest.test_case "work is free" `Quick
-            test_work_and_op_work_are_noops;
-          Alcotest.test_case "sequential runs" `Quick test_sequential_par_runs;
-        ] );
+        cases "tids" (fun mk -> test_par_run_tids (fun () -> mk ()))
+        @ cases "concurrent faa" (fun mk ->
+              test_par_run_concurrent_faa (fun () -> mk ()))
+        @ cases "concurrent cas" (fun mk ->
+              test_par_run_concurrent_cas (fun () -> mk ()))
+        @ cases "elapsed" (fun mk -> test_elapsed_positive (fun () -> mk ()))
+        @ cases "max threads" (fun mk ->
+              test_max_threads_enforced (fun ~max_threads () ->
+                  mk ~max_threads ()))
+        @ cases "work is free" (fun mk ->
+              test_work_and_op_work_are_noops (fun () -> mk ()))
+        @ cases "sequential runs" (fun mk ->
+              test_sequential_par_runs (fun () -> mk ())) );
     ]
