@@ -345,6 +345,28 @@ let check_cmd =
       & info [ "zipf" ] ~docv:"THETA"
           ~doc:"Zipfian key skew in (0,1) instead of uniform keys.")
   in
+  let batch =
+    Arg.(
+      value
+      & opt int Sc.default.Sc.batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Execute each thread's operations in batches of $(docv) through \
+             the scheme's batched path (Smr_intf.run_batch); 1 = the \
+             per-operation path.")
+  in
+  let slack =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slack" ] ~docv:"N"
+          ~doc:
+            "Tight arena: size the arena at the live-set ceiling plus \
+             $(docv) spare slots, so reclamation phases (and OA \
+             warning-bit rollbacks) happen during the run.  Default: \
+             generous sizing, no allocation pressure.  Only meaningful \
+             for schemes that reclaim (not $(b,none)).")
+  in
   let seeds =
     Arg.(
       value & opt int 100
@@ -375,7 +397,9 @@ let check_cmd =
             "Fault battery: $(b,none), $(b,stall) (park a victim across a \
              reclamation phase), $(b,crossing) (hold threads inside read \
              windows until the phase probe ticks), $(b,casdelay) (widen \
-             read-to-CAS windows), or $(b,all).")
+             read-to-CAS windows), $(b,batchshift) (short rotating holds \
+             that land phase shifts at batch-interior operation \
+             boundaries), or $(b,all).")
   in
   let shrink_budget =
     Arg.(
@@ -417,8 +441,8 @@ let check_cmd =
       history
   in
   let run structure scheme threads ops_per_thread key_range prefill mix theta
-      seeds seed0 policy pct_depth faults shrink_budget expect_fail replay
-      quiet =
+      batch arena_slack seeds seed0 policy pct_depth faults shrink_budget
+      expect_fail replay quiet =
     let finish ~violation =
       exit (if violation <> expect_fail then 1 else 0)
     in
@@ -432,6 +456,8 @@ let check_cmd =
         prefill;
         mix;
         theta;
+        batch;
+        arena_slack;
         seed = seed0;
       }
     in
@@ -523,8 +549,8 @@ let check_cmd =
           token on failure.")
     Term.(
       const run $ structure $ scheme $ threads $ ops $ keys $ prefill $ mix
-      $ zipf $ seeds $ seed0 $ policy $ pct_depth $ faults $ shrink_budget
-      $ expect_fail $ replay $ quiet)
+      $ zipf $ batch $ slack $ seeds $ seed0 $ policy $ pct_depth $ faults
+      $ shrink_budget $ expect_fail $ replay $ quiet)
 
 (* --- serve --- *)
 
@@ -709,6 +735,16 @@ let loadgen_cmd =
       value & opt int d.Lg.pipeline
       & info [ "pipeline" ] ~doc:"Requests kept in flight per connection.")
   in
+  let batch =
+    Arg.(
+      value & opt int d.Lg.batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Requests per write group: send each round's pipeline as \
+             ceil(pipeline/$(docv)) separate writes so the server's \
+             batched execution path sees groups of about $(docv); 0 (the \
+             default) sends the whole pipeline in one write.")
+  in
   let duration =
     Arg.(
       value & opt float d.Lg.duration
@@ -732,7 +768,7 @@ let loadgen_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Machine-readable result; $(b,-) suppresses the file.")
   in
-  let run host port conns pipeline duration mix keys seed json =
+  let run host port conns pipeline batch duration mix keys seed json =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let cfg =
       {
@@ -740,6 +776,7 @@ let loadgen_cmd =
         port;
         conns;
         pipeline;
+        batch;
         duration;
         mix;
         key_dist = Oa_workload.Key_dist.uniform ~range:keys;
@@ -768,8 +805,8 @@ let loadgen_cmd =
           batches over concurrent connections, per-response latency with \
           p50/p90/p99, JSON summary.")
     Term.(
-      const run $ host $ port $ conns $ pipeline $ duration $ mix $ keys
-      $ seed $ json)
+      const run $ host $ port $ conns $ pipeline $ batch $ duration $ mix
+      $ keys $ seed $ json)
 
 (* --- bench-core --- *)
 
@@ -831,13 +868,24 @@ let bench_core_cmd =
   let repeats =
     Arg.(value & opt int 1 & info [ "repeats" ] ~doc:"Repetitions per point.")
   in
+  let batches =
+    Arg.(
+      value
+      & opt (int_list_conv ~what:"batches") [ 1; 16 ]
+      & info [ "batches" ] ~docv:"LIST"
+          ~doc:
+            "Batch sizes for the batched-execution sweep (default 1,16): \
+             the same per-thread op stream is executed per-op (batch 1) \
+             or in groups through Hash_table.run_batch, so the deltas \
+             isolate the schemes' batch amortisation.")
+  in
   let json =
     Arg.(
       value & opt string "BENCH_core.json"
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Machine-readable result; $(b,-) suppresses the file.")
   in
-  let run schemes domains ops prefill repeats json =
+  let run schemes domains ops prefill repeats batches json =
     let point scheme backend threads =
       let spec =
         {
@@ -922,6 +970,147 @@ let bench_core_cmd =
               Printf.sprintf "\"%s\": %.3f" (Schemes.id_name s) r)
             at_max));
     Buffer.add_string buf "},\n";
+    (* Batch-size sweep: the same windowed hot-key op stream per thread,
+       executed per-op or in groups through Hash_table.run_batch on the
+       flat backend.  Windows give batches bucket/key locality, which is
+       what the per-scheme amortisation (HP hazard carry, EBR one
+       announcement, OA one warning boundary, bucket-sorted traversal
+       reuse) feeds on — the per-op control executes the identical
+       stream, so the delta isolates the batched path. *)
+    let bench_threads =
+      min
+        (max 1 (Domain.recommended_domain_count ()))
+        (min 4 (List.fold_left max 1 domains))
+    in
+    let key_range = 2 * prefill in
+    let window = 32 in
+    let sweep_point scheme b =
+      let per_thread = max b (ops / bench_threads) in
+      let groups = per_thread / b in
+      let executed = groups * b in
+      let one () =
+        let module R =
+          (val Oa_runtime.Real_backend.make ~max_threads:(bench_threads + 1) ())
+        in
+        let module Sch = Schemes.Make (R) in
+        let module S = (val Sch.pack scheme) in
+        let module H = Oa_structures.Hash_table.Make (S) in
+        let cfg =
+          {
+            Oa_core.Smr_intf.default_config with
+            Oa_core.Smr_intf.chunk_size = 16;
+            retire_threshold = 64;
+            epoch_threshold = 64;
+          }
+        in
+        let capacity =
+          match scheme with
+          | Schemes.No_reclamation -> prefill + (bench_threads * executed) + 64
+          | _ -> prefill + (48 * 16 * (bench_threads + 1)) + 1_024
+        in
+        let tbl = H.create ~capacity ~expected_size:prefill cfg in
+        let ctx0 = H.register tbl in
+        let rng = Oa_util.Splitmix.create 7 in
+        let remaining = ref prefill in
+        while !remaining > 0 do
+          let k = 1 + Oa_util.Splitmix.below rng key_range in
+          if H.insert tbl ctx0 k then decr remaining
+        done;
+        let t0 = Unix.gettimeofday () in
+        R.par_run ~n:bench_threads (fun tid ->
+            let ctx = H.register tbl in
+            let rng = Oa_util.Splitmix.create (1_000 + (tid * 7919)) in
+            (* the op stream: windows of 16 keys drawn from a 32-key
+               span, read-mostly 60/20/20 — identical for every batch
+               size at a given tid *)
+            let base = ref 1 in
+            let next i =
+              if i mod 16 = 0 then
+                base := 1 + Oa_util.Splitmix.below rng (key_range - window);
+              let key = !base + Oa_util.Splitmix.below rng window in
+              let op =
+                match Oa_util.Splitmix.below rng 10 with
+                | 0 | 1 | 2 | 3 | 4 | 5 -> `Contains
+                | 6 | 7 -> `Insert
+                | _ -> `Delete
+              in
+              (op, key)
+            in
+            if b = 1 then
+              for i = 0 to executed - 1 do
+                match next i with
+                | `Contains, key -> ignore (H.contains tbl ctx key)
+                | `Insert, key -> ignore (H.insert tbl ctx key)
+                | `Delete, key -> ignore (H.delete tbl ctx key)
+              done
+            else begin
+              let bbuf = Array.make b { H.op = `Contains; key = 1 } in
+              for g = 0 to groups - 1 do
+                for j = 0 to b - 1 do
+                  let op, key = next ((g * b) + j) in
+                  bbuf.(j) <- { H.op; key }
+                done;
+                ignore (H.run_batch tbl ctx bbuf)
+              done
+            end;
+            H.quiesce ctx);
+        let dt = Unix.gettimeofday () -. t0 in
+        (float_of_int (bench_threads * executed) /. dt, S.stats (H.smr tbl))
+      in
+      let rec go n (tp_acc, st_acc) =
+        if n = 0 then (tp_acc /. float_of_int repeats, st_acc)
+        else
+          let tp, st = one () in
+          go (n - 1) (tp_acc +. tp, Oa_core.Smr_intf.add_stats st_acc st)
+      in
+      go repeats (0.0, Oa_core.Smr_intf.empty_stats)
+    in
+    Format.printf "@.batched execution sweep, flat backend, %d domains@."
+      bench_threads;
+    Format.printf "%-8s %8s %12s %10s@." "scheme" "batch" "Mops" "speedup";
+    Buffer.add_string buf "  \"batch_sweep\": {\n";
+    Printf.bprintf buf "    \"threads\": %d,\n" bench_threads;
+    Printf.bprintf buf "    \"key_range\": %d,\n" key_range;
+    Buffer.add_string buf "    \"points\": [\n";
+    let bfirst = ref true in
+    let speedups = ref [] in
+    let max_batch = List.fold_left max 1 batches in
+    List.iter
+      (fun scheme ->
+        let base = ref None in
+        List.iter
+          (fun b ->
+            let tp, st = sweep_point scheme b in
+            if st.Oa_core.Smr_intf.recycled > st.Oa_core.Smr_intf.retires
+            then begin
+              Format.eprintf
+                "bench-core: conservation violated for %s at batch %d \
+                 (recycled %d > retired %d)@."
+                (Schemes.id_name scheme) b st.Oa_core.Smr_intf.recycled
+                st.Oa_core.Smr_intf.retires;
+              exit 1
+            end;
+            if !base = None then base := Some tp;
+            let speedup = tp /. Option.get !base in
+            if b = max_batch && max_batch > 1 then
+              speedups := (scheme, speedup) :: !speedups;
+            Format.printf "%-8s %8d %12.3f %9.2fx@." (Schemes.id_name scheme)
+              b (tp /. 1e6) speedup;
+            if !bfirst then bfirst := false else Buffer.add_string buf ",\n";
+            Printf.bprintf buf
+              "      {\"scheme\": \"%s\", \"batch\": %d, \"mops\": %.4f, \
+               \"speedup\": %.3f}"
+              (Schemes.id_name scheme) b (tp /. 1e6) speedup)
+          batches)
+      schemes;
+    Buffer.add_string buf "\n    ],\n";
+    Printf.bprintf buf "    \"speedup_at_batch_%d\": {" max_batch;
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun (s, r) -> Printf.sprintf "\"%s\": %.3f" (Schemes.id_name s) r)
+            (List.rev !speedups)));
+    Buffer.add_string buf "}\n  },\n";
     Buffer.add_string buf "  \"conservation_ok\": true\n}\n";
     if json <> "-" then begin
       let oc = open_out json in
@@ -936,7 +1125,8 @@ let bench_core_cmd =
          "Multi-domain hash-table throughput of the real backends: flat \
           cache-aligned arena vs boxed atomics, per scheme and domain \
           count, with a JSON summary (BENCH_core.json).")
-    Term.(const run $ schemes $ domains $ ops $ prefill $ repeats $ json)
+    Term.(
+      const run $ schemes $ domains $ ops $ prefill $ repeats $ batches $ json)
 
 (* --- schemes --- *)
 

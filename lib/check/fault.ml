@@ -32,11 +32,20 @@ type spec =
           have had time to be recycled), or at most [hold] steps *)
   | Cas_delay of { hold : int }
       (** hold any thread suspended at a CAS for [hold] steps *)
+  | Batch_boundary of { hold : int }
+      (** the batched-path adversary: hold a thread suspended at a pending
+          write until the probe ticks {e once} — just long enough for a
+          phase flip to land mid-batch — then move to another thread.  The
+          single-tick release makes the holds shorter and more frequent
+          than {!Phase_crossing}'s, so a batch of operations sees phase
+          shifts at many interior operation boundaries, exercising OA's
+          warning-bit absorption and HP's hazard-carry revalidation *)
 
 let name = function
   | Stall_across_phase _ -> "stall"
   | Phase_crossing _ -> "crossing"
   | Cas_delay _ -> "casdelay"
+  | Batch_boundary _ -> "batchshift"
 
 type state = {
   spec : spec;
@@ -107,6 +116,27 @@ let veto st ~step (r : Sched.runnable) =
         false
       end
       else true
+  | Batch_boundary { hold } ->
+      (* Same victim rotation as Phase_crossing, but released after a
+         single probe tick: one reclamation pass over the held thread is
+         enough to set warning bits / free nodes between the batch's
+         operations. *)
+      if st.victim = -1 then
+        if holds_stale_reads r.Sched.kind && r.Sched.tid <> st.last_victim
+        then begin
+          st.victim <- r.Sched.tid;
+          st.phase0 <- st.probe ();
+          st.since <- step;
+          true
+        end
+        else false
+      else if r.Sched.tid <> st.victim then false
+      else if st.probe () > st.phase0 || step - st.since > hold then begin
+        st.last_victim <- st.victim;
+        st.victim <- -1;
+        false
+      end
+      else true
   | Cas_delay { hold } -> (
       match r.Sched.kind with
       | Sched.Cas -> (
@@ -140,5 +170,6 @@ let specs_of_name ~threads = function
   | "stall" -> Some [ Stall_across_phase { victim = 0; after = 50 } ]
   | "crossing" -> Some [ Phase_crossing { hold = default_hold } ]
   | "casdelay" -> Some [ Cas_delay { hold = default_hold } ]
+  | "batchshift" -> Some [ Batch_boundary { hold = default_hold } ]
   | "all" -> Some (all_specs ~threads)
   | _ -> None

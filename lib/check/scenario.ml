@@ -63,6 +63,23 @@ type t = {
           — so a traversal corrupted in the hot zone that then misreports a
           cold key is immediately non-linearizable, instead of being
           excused by that key's own churn. *)
+  batch : int;
+      (** operations per batch: [1] executes the op stream one at a time
+          (the historical path, byte-identical schedules); [> 1] chunks
+          each thread's stream into groups of this size executed through
+          the structure's batched path
+          ({!Oa_core.Smr_intf.S.run_batch}), so the adversarial
+          schedules also cross batch-interior operation boundaries *)
+  arena_slack : int option;
+      (** arena sizing: [None] (the default) is generous — every insert
+          can allocate a fresh slot even if reclamation never frees one —
+          so allocation pressure, and with it OA's warning/rollback
+          machinery, never engages.  [Some n] sizes the arena at the
+          structure's live-set ceiling plus [n] spare slots, forcing
+          reclamation phases {e during} the run: OA raises warning bits
+          and rolls readers back, HP scans under pressure, EBR flips
+          epochs under pressure.  Use only with schemes that reclaim
+          ([No_reclamation] will exhaust a tight arena and crash). *)
   seed : int;
 }
 
@@ -83,6 +100,8 @@ let default =
     prefill = 2;
     mix = Oa_workload.Op_mix.v ~read_pct:20 ~insert_pct:40 ~delete_pct:40;
     theta = None;
+    batch = 1;
+    arena_slack = None;
     seed = 0;
   }
 
@@ -104,17 +123,25 @@ type outcome = {
   overrides : (int * int) list;
       (** sparse schedule: deviations from the default continuation *)
   steps : int;
+  smr : I.stats;
+      (** aggregate scheme statistics at the end of the run — lets tests
+          assert on internals (e.g. that OA rolled back inside a batch) *)
 }
 
 type mode =
   | Drive of { policy : Policy.spec; faults : Fault.spec list }
   | Replay of (int * int) list
 
-(* Structure-agnostic operation bundle, as in Oa_harness.Experiment. *)
+(* Structure-agnostic operation bundle, as in Oa_harness.Experiment.
+   [op_batch keys f] runs thunks [f 0 .. f (n-1)] (with [keys.(i)] the key
+   thunk [i] touches, [n = Array.length keys]) through the structure's
+   batched path — bucket-sorted for the hash table, a plain amortised
+   batch elsewhere. *)
 type ops = {
   op_contains : int -> bool;
   op_insert : int -> bool;
   op_delete : int -> bool;
+  op_batch : int array -> (int -> unit) -> unit;
 }
 
 let max_history = 62
@@ -132,17 +159,29 @@ let validate_spec sc =
           the %d-operation Lincheck bound"
          sc.threads sc.ops_per_thread sc.key_range max_history);
   if sc.prefill > sc.key_range then
-    invalid_arg "Oa_check.Scenario: prefill exceeds key_range"
+    invalid_arg "Oa_check.Scenario: prefill exceeds key_range";
+  if sc.batch < 1 then invalid_arg "Oa_check.Scenario: batch must be >= 1";
+  match sc.arena_slack with
+  | Some n when n < 1 ->
+      invalid_arg "Oa_check.Scenario: arena_slack must be >= 1"
+  | _ -> ()
 
 (* Generous arena: the run must complete even if reclamation never frees a
    single node (e.g. a victim thread parked across the whole run under
    EBR), so budget every insert plus per-thread pool slack and hash-bucket
-   sentinels on top. *)
+   sentinels on top.  Under [Some slack] we budget only the live-set
+   ceiling — the key range, the list sentinel, an in-flight node and local
+   pool chunks per thread — plus the requested slack (hash-bucket
+   sentinels are budgeted separately, on top, by [Hash_table.create]), so
+   sustained churn must reclaim to keep allocating. *)
 let arena_capacity sc =
-  sc.prefill
-  + (sc.threads * sc.ops_per_thread)
-  + (8 * (sc.threads + 2))
-  + (2 * sc.prefill) + 64
+  match sc.arena_slack with
+  | None ->
+      sc.prefill
+      + (sc.threads * sc.ops_per_thread)
+      + (8 * (sc.threads + 2))
+      + (2 * sc.prefill) + 64
+  | Some slack -> sc.key_range + 2 + (2 * sc.threads) + slack
 
 let smr_config ~hp_slots ~max_cas =
   {
@@ -186,6 +225,7 @@ let run ~mode sc =
               op_contains = Ll.contains ctx;
               op_insert = Ll.insert ctx;
               op_delete = Ll.delete ctx;
+              op_batch = (fun keys f -> Ll.run_batch ctx (Array.length keys) f);
             }),
           (fun () -> Ll.validate t ~limit:(4 * capacity)),
           (fun () -> Ll.to_list t),
@@ -202,6 +242,7 @@ let run ~mode sc =
               op_contains = H.contains t ctx;
               op_insert = H.insert t ctx;
               op_delete = H.delete t ctx;
+              op_batch = (fun keys f -> H.run_batch_keyed t ctx ~keys f);
             }),
           (fun () -> H.validate t ~limit:(4 * capacity)),
           (fun () -> List.sort compare (H.to_list t)),
@@ -218,6 +259,7 @@ let run ~mode sc =
               op_contains = Sl.contains ctx;
               op_insert = Sl.insert ctx;
               op_delete = Sl.delete ctx;
+              op_batch = (fun keys f -> Sl.run_batch ctx (Array.length keys) f);
             }),
           (fun () -> Sl.validate t ~limit:(4 * capacity)),
           (fun () -> Sl.to_list t),
@@ -253,7 +295,7 @@ let run ~mode sc =
             | None -> Oa_workload.Key_dist.uniform ~range:sc.key_range
             | Some theta -> Oa_workload.Key_dist.zipf ~range:sc.key_range ~theta
           in
-          for _ = 1 to sc.ops_per_thread do
+          let draw () =
             let key = Oa_workload.Key_dist.draw dist rng in
             let kind =
               match Oa_workload.Op_mix.draw sc.mix rng with
@@ -261,6 +303,9 @@ let run ~mode sc =
               | Oa_workload.Op_mix.Insert -> L.Insert
               | Oa_workload.Op_mix.Delete -> L.Delete
             in
+            (kind, key)
+          in
+          let record kind key =
             let start_ts = Engine.now engine in
             let result =
               match kind with
@@ -271,7 +316,33 @@ let run ~mode sc =
             let end_ts = Engine.now engine in
             logs.(tid) <-
               { L.tid; kind; key; result; start_ts; end_ts } :: logs.(tid)
-          done);
+          in
+          if sc.batch <= 1 then
+            for _ = 1 to sc.ops_per_thread do
+              let kind, key = draw () in
+              record kind key
+            done
+          else begin
+            (* Chunk the same op stream (same rng draws, in order) into
+               groups executed through the structure's batched path; the
+               history events are recorded inside each thunk, so a
+               bucket-reordered batch logs in execution order, which is
+               what Lincheck checks against. *)
+            let remaining = ref sc.ops_per_thread in
+            while !remaining > 0 do
+              let n = min sc.batch !remaining in
+              remaining := !remaining - n;
+              let specs = Array.make n (L.Contains, 0) in
+              for i = 0 to n - 1 do
+                specs.(i) <- draw ()
+              done;
+              ops.op_batch
+                (Array.map snd specs)
+                (fun i ->
+                  let kind, key = specs.(i) in
+                  record kind key)
+            done
+          end);
       None
     with
     | Sched.Thread_failure (tid, e) ->
@@ -340,4 +411,5 @@ let run ~mode sc =
     decisions = Engine.decisions engine;
     overrides = Engine.overrides engine;
     steps = Engine.now engine;
+    smr = scheme_stats ();
   }

@@ -9,11 +9,16 @@
     prefill) is already determined by the seed.
 
     Format (version-prefixed, [:]-separated):
-    {v oacheck1:list:broken-hp:t3:o18:k6:p6:m20-40-40:z0.90:s17:41.2,97.0 v}
-    ([z-] when the key distribution is uniform.)  The final field is the
-    override list and may be empty. *)
+    {v oacheck2:list:broken-hp:t3:o18:k6:p6:m20-40-40:z0.90:s17:b1:a-:41.2,97.0 v}
+    ([z-] when the key distribution is uniform; [b] is the scenario's
+    batch size, [b1] = the per-op path; [a] is the arena slack, [a-] =
+    generous sizing.)  The final field is the override list and may be
+    empty.  Version 2 added the [b] and [a] fields; [oacheck1] tokens are
+    rejected as an unknown version rather than silently given defaults —
+    a replay must reproduce the recorded execution exactly, and the
+    encoding scenario knew its batch size and arena sizing. *)
 
-let version = "oacheck1"
+let version = "oacheck2"
 
 let structure_name = function
   | Oa_harness.Experiment.Linked_list -> "list"
@@ -28,7 +33,7 @@ let structure_of_name = function
 
 let encode (sc : Scenario.t) (overrides : (int * int) list) =
   let m = sc.Scenario.mix in
-  Printf.sprintf "%s:%s:%s:t%d:o%d:k%d:p%d:m%d-%d-%d:%s:s%d:%s" version
+  Printf.sprintf "%s:%s:%s:t%d:o%d:k%d:p%d:m%d-%d-%d:%s:s%d:b%d:%s:%s" version
     (structure_name sc.Scenario.structure)
     (Scenario.scheme_name sc.Scenario.scheme)
     sc.Scenario.threads sc.Scenario.ops_per_thread sc.Scenario.key_range
@@ -37,7 +42,10 @@ let encode (sc : Scenario.t) (overrides : (int * int) list) =
     (match sc.Scenario.theta with
     | None -> "z-"
     | Some th -> Printf.sprintf "z%.2f" th)
-    sc.Scenario.seed
+    sc.Scenario.seed sc.Scenario.batch
+    (match sc.Scenario.arena_slack with
+    | None -> "a-"
+    | Some n -> Printf.sprintf "a%d" n)
     (String.concat ","
        (List.map (fun (s, tid) -> Printf.sprintf "%d.%d" s tid) overrides))
 
@@ -50,7 +58,7 @@ let decode token =
     else None
   in
   match String.split_on_char ':' token with
-  | [ v; st; sch; t; o; k; p; m; z; s; ovs ] when v = version -> (
+  | [ v; st; sch; t; o; k; p; m; z; s; b; a; ovs ] when v = version -> (
       let mix =
         match String.split_on_char '-' m with
         | [ mr; mi; md ] when String.length mr > 1 && mr.[0] = 'm' -> (
@@ -72,6 +80,13 @@ let decode token =
           | Some th when th > 0.0 && th < 1.0 -> Some (Some th)
           | _ -> None
         else None
+      in
+      let arena_slack =
+        if a = "a-" then Some None
+        else
+          match int_field ~tag:"a" a with
+          | Some n when n >= 1 -> Some (Some n)
+          | _ -> None
       in
       let overrides =
         if ovs = "" then Some []
@@ -98,6 +113,8 @@ let decode token =
           mix,
           theta,
           int_field ~tag:"s" s,
+          int_field ~tag:"b" b,
+          arena_slack,
           overrides )
       with
       | ( Some structure,
@@ -109,7 +126,10 @@ let decode token =
           Some mix,
           Some theta,
           Some seed,
-          Some overrides ) ->
+          Some batch,
+          Some arena_slack,
+          Some overrides )
+        when batch >= 1 ->
           Ok
             ( {
                 Scenario.structure;
@@ -120,13 +140,15 @@ let decode token =
                 prefill;
                 mix;
                 theta;
+                batch;
+                arena_slack;
                 seed;
               },
               overrides )
       | _ -> fail "replay token %S: malformed field" token)
   | v :: _ when v <> version ->
       fail "replay token %S: unknown version (expected %s)" token version
-  | _ -> fail "replay token %S: expected 11 ':'-separated fields" token
+  | _ -> fail "replay token %S: expected 13 ':'-separated fields" token
 
 (** [replay token] decodes and re-executes the token's scenario with its
     overrides pinned, returning the outcome. *)

@@ -57,6 +57,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_phases : int;
     mutable s_fences : int;
     o : Oa_obs.Recorder.t option;
+    batch_hist : Oa_obs.Histogram.t option;
+        (* resolved once so [run_batch] records without a name lookup *)
   }
 
   and t = {
@@ -95,6 +97,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     let hps = Array.init nslots (fun f -> matrix.(f).(0)) in
     Array.iter (fun c -> R.write c no_hp) hps;
     let start_ver = (VP.version mm.retired) land lnot 1 in
+    let o = Oa_obs.Sink.register mm.obs in
     let ctx =
       {
         mm;
@@ -110,7 +113,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         s_restarts = 0;
         s_phases = 0;
         s_fences = 0;
-        o = Oa_obs.Sink.register mm.obs;
+        o;
+        batch_hist = Smr_intf.obs_histogram o "op_batch_amortized";
       }
     in
     (* Registration CASes contend when many threads start at once; back
@@ -129,6 +133,25 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let op_begin _ = ()
   let op_end _ = ()
+
+  (* Batched execution: absorb a pending warning once at the batch
+     boundary.  Nothing is in flight between operations, so a set bit can
+     be cleared without rolling anything back — the restart it would have
+     forced at the first barrier of the next operation would re-execute a
+     method that has not yet observed anything.  The per-read [check]
+     barriers inside each operation are untouched; they remain the safety
+     mechanism.  The benefit is that a phase flip that lands between
+     operations of a batch costs zero rollbacks instead of one per
+     thread. *)
+  let run_batch ctx n f =
+    if n > 0 then begin
+      let w = R.read_own ctx.warning in
+      if w land 1 = 1 then ignore (R.cas ctx.warning w (w land lnot 1));
+      Smr_intf.obs_hist ctx.batch_hist n;
+      for i = 0 to n - 1 do
+        f i
+      done
+    end
 
   (* Algorithm 1: the read barrier.  Clearing the bit before restarting is
      sound because the restart re-enters the method from scratch and can no

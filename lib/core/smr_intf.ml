@@ -119,6 +119,19 @@ let obs_add o ev n =
 let obs_observe o name v =
   match o with None -> () | Some r -> Oa_obs.Recorder.observe r name v
 
+(* Histogram observation is on the batched hot path (once per
+   [run_batch]); resolving the histogram by name each time would put a
+   string-keyed lookup there.  Resolve the handle once at registration
+   with [obs_histogram] and bump it with [obs_hist]. *)
+
+let obs_histogram o name =
+  match o with
+  | None -> None
+  | Some r -> Some (Oa_obs.Recorder.histogram r name)
+
+let obs_hist h v =
+  match h with None -> () | Some h -> Oa_obs.Histogram.observe h v
+
 module type S = sig
   module R : Oa_runtime.Runtime_intf.S
 
@@ -161,6 +174,31 @@ module type S = sig
 
   val op_begin : ctx -> unit
   val op_end : ctx -> unit
+
+  val run_batch : ctx -> int -> (int -> unit) -> unit
+  (** [run_batch ctx n f] executes [f 0 .. f (n-1)] — each a complete
+      operation on [ctx], typically a {!Normalized} [run_op] — as one
+      batch, amortising the scheme's per-operation setup across the batch:
+
+      - OA checks (and clears) the warning bit once at the batch boundary,
+        where nothing is in flight and so nothing needs rolling back; the
+        per-read {!check} barriers inside each operation are unchanged
+        (they are what safety rests on);
+      - HP keeps validated hazard slots live across consecutive
+        operations: a read whose slot already publishes the target skips
+        the publish/fence/re-validate cycle, since a continuously
+        published hazard has protected the node since its last validation;
+      - EBR announces the epoch (publish + fence) once for the whole
+        batch instead of per operation, pinning the epoch for the batch's
+        duration — reclamation is delayed by at most one batch, never
+        compromised;
+      - NoRecl, Anchors and RC have no per-operation setup worth
+        amortising and run the plain loop.
+
+      Each call records the batch size in the [op_batch_amortized]
+      histogram of the scheme's telemetry sink.  Operations inside a batch
+      retain their one-at-a-time semantics: [run_batch ctx 1 f] is
+      behaviourally equivalent to [f 0]. *)
 
   val alloc : ctx -> Ptr.t
   (** Allocate a zeroed node.  May internally run reclamation; never raises

@@ -20,6 +20,12 @@ type config = {
   port : int;
   conns : int;
   pipeline : int;  (** requests in flight per connection *)
+  batch : int;
+      (** requests per write group: each round's [pipeline] requests are
+          sent as ceil(pipeline/batch) separate writes instead of one, so
+          the server-side dequeue (and hence the batched execution path)
+          sees groups of about this size; [<= 0] means one group of
+          [pipeline] (the previous behaviour) *)
   duration : float;  (** seconds *)
   mix : Oa_workload.Op_mix.t;
   key_dist : Oa_workload.Key_dist.t;
@@ -32,6 +38,7 @@ let default_config =
     port = 7440;
     conns = 4;
     pipeline = 16;
+    batch = 0;
     duration = 2.0;
     mix = Oa_workload.Op_mix.read_mostly;
     key_dist = Oa_workload.Key_dist.uniform ~range:8_000;
@@ -99,7 +106,23 @@ let run_conn cfg ~index =
            List.iter
              (fun (r : Protocol.request) -> Hashtbl.replace sent r.id t0)
              reqs;
-           Client.send client reqs;
+           (* Send in groups of [batch] so the server's dequeue — and so
+              its batched execution path — sees groups of about that
+              size; one write of the whole pipeline otherwise. *)
+           let group = if cfg.batch <= 0 then cfg.pipeline else cfg.batch in
+           let rec send_groups = function
+             | [] -> ()
+             | reqs ->
+                 let rec take n acc = function
+                   | rest when n = 0 -> (List.rev acc, rest)
+                   | [] -> (List.rev acc, [])
+                   | r :: rest -> take (n - 1) (r :: acc) rest
+                 in
+                 let g, rest = take group [] reqs in
+                 Client.send client g;
+                 send_groups rest
+           in
+           send_groups reqs;
            (* Collect all [pipeline] responses, stamping each read's
               arrivals as they come in rather than once per batch. *)
            let remaining = ref cfg.pipeline in
@@ -172,6 +195,8 @@ let run cfg =
           workers_per_shard;
           conns = cfg.conns;
           pipeline = cfg.pipeline;
+          batch = (if cfg.batch <= 0 then cfg.pipeline else cfg.batch);
+          server_batch = (if Array.length stats >= 8 then stats.(7) else 0);
           elapsed;
           ops = merged.ops;
           ok = merged.ok;

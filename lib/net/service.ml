@@ -62,8 +62,18 @@ let default_config =
     seed = 1;
   }
 
-(* Per-worker operation bundle; built on the worker's own domain. *)
-type worker_ops = { exec : op_kind -> int -> bool; quiesce : unit -> unit }
+(* Per-worker operation bundle; built on the worker's own domain.
+   [exec_batch] executes a whole dequeued batch through the structure's
+   bucket-sorted batched path (Hash_table.run_batch_keyed), returning
+   results in submission order.  Kinds and keys arrive as two parallel
+   arrays of immediates rather than an array of pairs: the batched path
+   competes with a per-op loop that allocates nothing, so it must not
+   pay a tuple and a record per request either. *)
+type worker_ops = {
+  exec : op_kind -> int -> bool;
+  exec_batch : op_kind array -> int array -> bool array;
+  quiesce : unit -> unit;
+}
 
 (* The per-shard handle: scheme/structure types are erased into closures,
    as in [Oa_harness.Experiment]. *)
@@ -122,6 +132,16 @@ let make_shard ~obs ~(cfg : config) : shard =
               | Get -> H.contains tbl ctx key
               | Insert -> H.insert tbl ctx key
               | Delete -> H.delete tbl ctx key);
+          exec_batch =
+            (fun kinds keys ->
+              let results = Array.make (Array.length keys) false in
+              H.run_batch_keyed tbl ctx ~keys (fun i ->
+                  results.(i) <-
+                    (match kinds.(i) with
+                    | Get -> H.contains tbl ctx keys.(i)
+                    | Insert -> H.insert tbl ctx keys.(i)
+                    | Delete -> H.delete tbl ctx keys.(i)));
+              results);
           quiesce = (fun () -> H.quiesce ctx);
         });
     size = (fun () -> List.length (H.to_list tbl));
@@ -157,12 +177,40 @@ let create ?(obs = Oa_obs.Sink.create ()) (cfg : config) : t =
     stopped = false;
   }
 
-(* The worker loop: batched dequeue, execute, rendezvous.  An exception
-   from the structure (e.g. [Arena_exhausted] under an undersized delta)
-   fails the single item, never the worker. *)
+(* The worker loop: batched dequeue, batched execute, rendezvous.  A
+   dequeued batch of two or more items runs through the scheme's amortised
+   batched path ([worker_ops.exec_batch]); single items take the per-op
+   path.  An exception from the batched path (e.g. [Arena_exhausted] under
+   an undersized delta) falls back to per-item execution so that only the
+   poisoned item fails, never the worker; insert/delete are idempotent on
+   the set, so re-running the batch's already-applied prefix in the
+   fallback cannot corrupt state (it can only change the boolean answers
+   of that exceptional batch). *)
 let worker_loop t (shard : shard) =
   let ops = shard.register () in
   let rec_opt = Oa_obs.Sink.register t.sink in
+  let complete it result failed =
+    Mutex.lock it.batch.bm;
+    it.result <- result;
+    it.failed <- failed;
+    it.batch.pending <- it.batch.pending - 1;
+    if it.batch.pending = 0 then Condition.signal it.batch.bc;
+    Mutex.unlock it.batch.bm;
+    Atomic.incr t.processed;
+    match rec_opt with
+    | None -> ()
+    | Some r -> Oa_obs.Recorder.incr r Oa_obs.Event.Req_done
+  in
+  let exec_one it =
+    let result, failed =
+      match ops.exec it.kind it.key with
+      | r -> (r, false)
+      | exception _ ->
+          Atomic.incr t.exec_errors;
+          (false, true)
+    in
+    complete it result failed
+  in
   let rec loop () =
     match Shard_queue.pop_batch shard.queue ~max:t.cfg.dequeue_batch with
     | [], _ -> ops.quiesce ()
@@ -172,26 +220,16 @@ let worker_loop t (shard : shard) =
         | Some r ->
             Oa_obs.Recorder.observe r "net_queue_depth" depth;
             Oa_obs.Recorder.observe r "net_batch" (List.length items));
-        List.iter
-          (fun it ->
-            let result, failed =
-              match ops.exec it.kind it.key with
-              | r -> (r, false)
-              | exception _ ->
-                  Atomic.incr t.exec_errors;
-                  (false, true)
-            in
-            Mutex.lock it.batch.bm;
-            it.result <- result;
-            it.failed <- failed;
-            it.batch.pending <- it.batch.pending - 1;
-            if it.batch.pending = 0 then Condition.signal it.batch.bc;
-            Mutex.unlock it.batch.bm;
-            Atomic.incr t.processed;
-            match rec_opt with
-            | None -> ()
-            | Some r -> Oa_obs.Recorder.incr r Oa_obs.Event.Req_done)
-          items;
+        let arr = Array.of_list items in
+        if Array.length arr >= 2 then begin
+          let kinds = Array.map (fun it -> it.kind) arr in
+          let keys = Array.map (fun it -> it.key) arr in
+          match ops.exec_batch kinds keys with
+          | results ->
+              Array.iteri (fun i it -> complete it results.(i) false) arr
+          | exception _ -> Array.iter exec_one arr
+        end
+        else Array.iter exec_one arr;
         loop ()
   in
   loop ()
@@ -266,9 +304,10 @@ let busy_rejections t = Atomic.get t.busy
 let queue_depths t = Array.map (fun s -> Shard_queue.length s.queue) t.shards
 
 (** The STATS response payload: a versioned flat vector (field order is
-    part of the wire contract, see docs/server.md).
+    part of the wire contract; new fields append, see docs/server.md).
     [| scheme; shards; workers_per_shard; queue_capacity; processed;
-       busy; exec_errors |] where [scheme] indexes {!Schemes.all_ids}. *)
+       busy; exec_errors; dequeue_batch |] where [scheme] indexes
+    {!Schemes.all_ids}. *)
 let stats_payload t =
   let scheme_idx =
     let rec find i = function
@@ -285,6 +324,7 @@ let stats_payload t =
     Atomic.get t.processed;
     Atomic.get t.busy;
     Atomic.get t.exec_errors;
+    t.cfg.dequeue_batch;
   |]
 
 let scheme_of_stats_payload (vs : int array) =

@@ -9,6 +9,10 @@ type t = {
   workers_per_shard : int;
   conns : int;
   pipeline : int;
+  batch : int;  (** requests per client write group (<= pipeline) *)
+  server_batch : int;
+      (** the server's dequeue batch bound, from the STATS probe; 0 when
+          the server predates the field *)
   elapsed : float;  (** seconds *)
   ops : int;  (** responses received (including BUSY) *)
   ok : int;  (** boolean results *)
@@ -25,10 +29,11 @@ let to_table t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf
-       "scheme=%s shards=%d workers=%d conns=%d pipeline=%d\n\
+       "scheme=%s shards=%d workers=%d conns=%d pipeline=%d batch=%d \
+        server-batch=%d\n\
         %d responses in %.3fs: %.0f ops/s (ok=%d busy=%d errors=%d)\n"
-       t.scheme t.shards t.workers_per_shard t.conns t.pipeline t.ops t.elapsed
-       (throughput t) t.ok t.busy t.errors);
+       t.scheme t.shards t.workers_per_shard t.conns t.pipeline t.batch
+       t.server_batch t.ops t.elapsed (throughput t) t.ok t.busy t.errors);
   if H.count t.latency > 0 then begin
     Buffer.add_string buf "latency      usec\n";
     List.iter
@@ -49,12 +54,13 @@ let to_json t =
   let lat name q = Printf.sprintf "\"%s\":%.0f" name (H.quantile q t.latency) in
   Printf.sprintf
     "{\"bench\":\"server\",\"scheme\":\"%s\",\"shards\":%d,\
-     \"workers_per_shard\":%d,\"conns\":%d,\"pipeline\":%d,\
+     \"workers_per_shard\":%d,\"conns\":%d,\"pipeline\":%d,\"batch\":%d,\
+     \"server_batch\":%d,\
      \"duration_s\":%.3f,\"ops\":%d,\"ok\":%d,\"busy\":%d,\"errors\":%d,\
      \"throughput_ops_per_s\":%.1f,\"latency_ns\":{%s,\"mean\":%.0f,\
      \"count\":%d}}\n"
-    t.scheme t.shards t.workers_per_shard t.conns t.pipeline t.elapsed t.ops
-    t.ok t.busy t.errors (throughput t)
+    t.scheme t.shards t.workers_per_shard t.conns t.pipeline t.batch
+    t.server_batch t.elapsed t.ops t.ok t.busy t.errors (throughput t)
     (String.concat "," (List.map (fun (n, q) -> lat n q) quantiles))
     (H.mean t.latency) (H.count t.latency)
 

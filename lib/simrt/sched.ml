@@ -186,6 +186,14 @@ let run t ~n f =
           | _ -> None);
     }
   in
+  (* Even when a thread failure or the cycle limit aborts the loop, the
+     scheduler must come back to rest: a stale [current] would make
+     later out-of-scheduler memory accesses (post-mortem validation,
+     stats collection) charge work and perform an unhandled [Yield]. *)
+  Fun.protect ~finally:(fun () ->
+      t.current <- -1;
+      t.running <- false)
+  @@ fun () ->
   while t.live > 0 do
     let i = pick t in
     (match t.switch_hook with
@@ -201,6 +209,4 @@ let run t ~n f =
         continue k ()
     | Running | Finished -> assert false
   done;
-  t.current <- -1;
-  ignore (makespan t);
-  t.running <- false
+  ignore (makespan t)

@@ -56,6 +56,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_phases : int;
     mutable s_fences : int;
     o : Oa_obs.Recorder.t option;
+    batch_hist : Oa_obs.Histogram.t option;
+        (* resolved once so [run_batch] records without a name lookup *)
   }
 
   and t = {
@@ -94,6 +96,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let no_hp = -1
 
   let register mm =
+    let o = Oa_obs.Sink.register mm.obs in
     let ctx =
       {
         mm;
@@ -112,7 +115,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         s_recycled = 0;
         s_phases = 0;
         s_fences = 0;
-        o = Oa_obs.Sink.register mm.obs;
+        o;
+        batch_hist = I.obs_histogram o "op_batch_amortized";
       }
     in
     let rec add () =
@@ -133,6 +137,18 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let op_end ctx =
     R.write ctx.anchor no_hp;
     bump_seq ctx false
+
+  (* Anchoring is interval-based within each operation (sequence number,
+     anchor posts every [anchor_interval] reads), so there is no
+     per-operation setup worth amortising: the batched path is the plain
+     loop. *)
+  let run_batch ctx n f =
+    if n > 0 then begin
+      I.obs_hist ctx.batch_hist n;
+      for i = 0 to n - 1 do
+        f i
+      done
+    end
 
   (* Post an anchor on [v] with HP-style validation against the source
      cell, then account a new anchor interval. *)

@@ -35,6 +35,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     buckets : bucket array;  (* 3 limbo buckets, indexed epoch mod 3 *)
     mutable local_epoch : int;
     mutable ops : int;
+    mutable in_batch : bool;  (* epoch announced for a whole [run_batch] *)
     mutable alloc_chunk : VP.chunk;
     mutable s_allocs : int;
     mutable s_retires : int;
@@ -42,6 +43,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_phases : int;
     mutable s_fences : int;
     o : Oa_obs.Recorder.t option;
+    batch_hist : Oa_obs.Histogram.t option;
+        (* resolved once so [run_batch] records without a name lookup *)
   }
 
   and t = {
@@ -70,6 +73,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let make_bucket () = { nodes = Array.make 64 (-1); len = 0; epoch = -1 }
 
   let register mm =
+    let o = Oa_obs.Sink.register mm.obs in
     let ctx =
       {
         mm;
@@ -77,13 +81,15 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         buckets = Array.init 3 (fun _ -> make_bucket ());
         local_epoch = 0;
         ops = 0;
+        in_batch = false;
         alloc_chunk = VP.make_chunk mm.cfg.I.chunk_size;
         s_allocs = 0;
         s_retires = 0;
         s_recycled = 0;
         s_phases = 0;
         s_fences = 0;
-        o = Oa_obs.Sink.register mm.obs;
+        o;
+        batch_hist = I.obs_histogram o "op_batch_amortized";
       }
     in
     let rec add () =
@@ -118,7 +124,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         end)
       ctx.buckets
 
-  let op_begin ctx =
+  let announce ctx =
     (* Model the comparator's (Fraser's) heavier per-operation path; see
        Smr_intf.config.ebr_op_work. *)
     R.work ctx.mm.cfg.I.ebr_op_work;
@@ -131,7 +137,31 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       free_old_buckets ctx e
     end
 
-  let op_end ctx = R.write ctx.word (ctx.local_epoch lsl 1)
+  let op_begin ctx = if not ctx.in_batch then announce ctx
+  let op_end ctx = if not ctx.in_batch then R.write ctx.word (ctx.local_epoch lsl 1)
+
+  (* Batched execution: one epoch announcement (publish + fence + limbo
+     sweep) covers the whole batch; the per-operation [op_begin]/[op_end]
+     inside become no-ops.  The word stays active — and the observed epoch
+     pinned — for the batch's duration, so epoch advance (and therefore
+     reclamation) can be delayed by at most one batch; safety is untouched
+     because pinning an epoch is exactly what a long operation does.  The
+     word goes inactive again when the batch ends, even on an exceptional
+     exit. *)
+  let run_batch ctx n f =
+    if n > 0 then begin
+      I.obs_hist ctx.batch_hist n;
+      announce ctx;
+      ctx.in_batch <- true;
+      Fun.protect
+        ~finally:(fun () ->
+          ctx.in_batch <- false;
+          R.write ctx.word (ctx.local_epoch lsl 1))
+        (fun () ->
+          for i = 0 to n - 1 do
+            f i
+          done)
+    end
 
   (* Advance the global epoch if every active thread observed it. *)
   let try_advance ctx =

@@ -28,6 +28,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_allocs : int;
     mutable s_retires : int;
     o : Oa_obs.Recorder.t option;
+    batch_hist : Oa_obs.Histogram.t option;
+        (* resolved once so [run_batch] records without a name lookup *)
   }
 
   and t = {
@@ -45,13 +47,15 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   let set_successor _ _ = ()
 
   let register mm =
+    let o = Oa_obs.Sink.register mm.obs in
     let ctx =
       {
         mm;
         alloc_chunk = VP.make_chunk 0;
         s_allocs = 0;
         s_retires = 0;
-        o = Oa_obs.Sink.register mm.obs;
+        o;
+        batch_hist = Oa_core.Smr_intf.obs_histogram o "op_batch_amortized";
       }
     in
     let rec add () =
@@ -63,6 +67,16 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let op_begin _ = ()
   let op_end _ = ()
+
+  (* No per-operation machinery at all: the batched path is the plain
+     loop, recorded for the telemetry histogram like every scheme. *)
+  let run_batch ctx n f =
+    if n > 0 then begin
+      Oa_core.Smr_intf.obs_hist ctx.batch_hist n;
+      for i = 0 to n - 1 do
+        f i
+      done
+    end
 
   let refill ctx =
     let size = ctx.mm.cfg.Oa_core.Smr_intf.chunk_size in

@@ -50,6 +50,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     mutable s_recycled : int;
     mutable s_fences : int;
     o : Oa_obs.Recorder.t option;
+    batch_hist : Oa_obs.Histogram.t option;
+        (* resolved once so [run_batch] records without a name lookup *)
   }
 
   and t = {
@@ -84,6 +86,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let register mm =
     let nslots = mm.cfg.I.hp_slots in
+    let o = Oa_obs.Sink.register mm.obs in
     let ctx =
       {
         mm;
@@ -95,7 +98,8 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
         s_retires = 0;
         s_recycled = 0;
         s_fences = 0;
-        o = Oa_obs.Sink.register mm.obs;
+        o;
+        batch_hist = I.obs_histogram o "op_batch_amortized";
       }
     in
     let rec add () =
@@ -107,6 +111,16 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   let op_begin _ = ()
   let op_end _ = ()
+
+  (* Reference counts are adjusted per read and freed eagerly; nothing is
+     set up per operation, so the batched path is the plain loop. *)
+  let run_batch ctx n f =
+    if n > 0 then begin
+      I.obs_hist ctx.batch_hist n;
+      for i = 0 to n - 1 do
+        f i
+      done
+    end
 
   let push_free ctx idx =
     let mm = ctx.mm in

@@ -45,11 +45,105 @@ module Make (S : Oa_core.Smr_intf.S) = struct
   let n_buckets t = Array.length t.buckets
 
   (* Fibonacci hashing: spreads consecutive keys across buckets. *)
-  let bucket t key = t.buckets.((key * 0x2545F4914F6CDD1D) lsr 13 land t.mask)
+  let bucket_index t key = (key * 0x2545F4914F6CDD1D) lsr 13 land t.mask
+  let bucket t key = t.buckets.(bucket_index t key)
 
   let contains t ctx key = L.contains_at ctx ~head:(bucket t key) key
   let insert t ctx key = L.insert_at ctx ~head:(bucket t key) key
   let delete t ctx key = L.delete_at ctx ~head:(bucket t key) key
+
+  (* --- Batched execution --- *)
+
+  (* Run thunks [f 0 .. f (n-1)] — one complete operation each, with
+     [keys.(i)] the key operation [i] touches — as one batch through the
+     scheme's amortised path, in bucket order: consecutive thunks then tend
+     to land on the same chain, so a hazard validated by one operation is
+     still published when the next one's first read hits the same node
+     (the HP carry of [Smr_intf.run_batch]).  The reorder is a {e stable}
+     sort on the bucket index, so operations on the same key — a fortiori
+     the same bucket — keep their submission order, which is what makes a
+     batch observably equivalent to executing its operations one at a time
+     for any single submitter. *)
+  let run_batch_keyed t (ctx : ctx) ~(keys : int array) f =
+    let n = Array.length keys in
+    (* Pack [bucket lsl shift lor submission-index] into one int so the
+       stable bucket order falls out of a single monomorphic int sort —
+       the comparator runs O(n log n) times and must not hash or box. *)
+    let shift =
+      let rec bits b = if n lsr b = 0 then b else bits (b + 1) in
+      bits 0
+    in
+    let order = Array.make n 0 in
+    for i = 0 to n - 1 do
+      order.(i) <- (bucket_index t keys.(i) lsl shift) lor i
+    done;
+    (* Monomorphic in-place sort: [Array.sort Int.compare] pays a closure
+       call per comparison, which at large batches costs more than the
+       traversal reuse the ordering buys.  Insertion sort for the typical
+       small batch (a server dequeue, a pipelined client burst), quicksort
+       with median-of-three pivots above that — every comparison is an
+       inlined integer [<]. *)
+    let insertion lo hi =
+      for i = lo + 1 to hi do
+        let v = order.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && order.(!j) > v do
+          order.(!j + 1) <- order.(!j);
+          decr j
+        done;
+        order.(!j + 1) <- v
+      done
+    in
+    let swap i j =
+      let v = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- v
+    in
+    let rec qsort lo hi =
+      if hi - lo < 24 then insertion lo hi
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        if order.(mid) < order.(lo) then swap mid lo;
+        if order.(hi) < order.(lo) then swap hi lo;
+        if order.(hi) < order.(mid) then swap hi mid;
+        let pivot = order.(mid) in
+        let i = ref lo and j = ref hi in
+        while !i <= !j do
+          while order.(!i) < pivot do
+            incr i
+          done;
+          while order.(!j) > pivot do
+            decr j
+          done;
+          if !i <= !j then begin
+            swap !i !j;
+            incr i;
+            decr j
+          end
+        done;
+        qsort lo !j;
+        qsort !i hi
+      end
+    in
+    qsort 0 (n - 1);
+    let mask = (1 lsl shift) - 1 in
+    L.run_batch ctx n (fun j -> f (order.(j) land mask))
+
+  type batch_op = { op : [ `Contains | `Insert | `Delete ]; key : int }
+
+  (* Convenience wrapper for callers that just want results back in
+     submission order (the [Service] worker loop). *)
+  let run_batch t (ctx : ctx) (ops : batch_op array) =
+    let keys = Array.map (fun o -> o.key) ops in
+    let results = Array.make (Array.length ops) false in
+    run_batch_keyed t ctx ~keys (fun i ->
+        let { op; key } = ops.(i) in
+        results.(i) <-
+          (match op with
+          | `Contains -> contains t ctx key
+          | `Insert -> insert t ctx key
+          | `Delete -> delete t ctx key));
+    results
 
   (* --- Quiescent helpers --- *)
 

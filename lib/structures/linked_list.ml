@@ -225,6 +225,11 @@ module Make (S : Oa_core.Smr_intf.S) = struct
   let insert ctx key = insert_at ctx ~head:ctx.t.head key
   let delete ctx key = delete_at ctx ~head:ctx.t.head key
 
+  (* Batched execution through the scheme's amortised path (see
+     Smr_intf.run_batch); each thunk must be a complete operation on this
+     context. *)
+  let run_batch ctx n f = S.run_batch ctx.sctx n f
+
   (* --- Raw (quiescent) helpers for prefilling and validation; these read
      the arena directly and must not race with running operations. --- *)
 

@@ -388,6 +388,11 @@ module Make (S : Oa_core.Smr_intf.S) = struct
     in
     N.run_op ctx.sctx ~generator ~wrap_up
 
+  (* Batched execution through the scheme's amortised path (see
+     Smr_intf.run_batch); each thunk must be a complete operation on this
+     context. *)
+  let run_batch ctx n f = S.run_batch ctx.sctx n f
+
   (* --- Quiescent helpers --- *)
 
   (** Keys of unmarked bottom-level nodes, in order. *)

@@ -8,6 +8,7 @@ module P = Oa_check.Policy
 module F = Oa_check.Fault
 module X = Oa_check.Explore
 module T = Oa_check.Token
+module I = Oa_core.Smr_intf
 module Schemes = Oa_smr.Schemes
 
 let drive ?(policy = P.Random_walk) ?(faults = []) ?(seed = 7) sc =
@@ -67,7 +68,11 @@ let test_scenario_bounds () =
   let bad_prefill = { Sc.default with Sc.prefill = 3 } in
   Alcotest.check_raises "prefill bound"
     (Invalid_argument "Oa_check.Scenario: prefill exceeds key_range")
-    (fun () -> ignore (drive bad_prefill))
+    (fun () -> ignore (drive bad_prefill));
+  let bad_batch = { Sc.default with Sc.batch = 0 } in
+  Alcotest.check_raises "batch bound"
+    (Invalid_argument "Oa_check.Scenario: batch must be >= 1")
+    (fun () -> ignore (drive bad_batch))
 
 (* --- replay tokens --- *)
 
@@ -77,6 +82,8 @@ let test_token_roundtrip () =
       Sc.default with
       Sc.scheme = Sc.Broken_hp;
       theta = Some 0.9;
+      batch = 4;
+      arena_slack = Some 6;
       seed = 42;
     }
   in
@@ -102,15 +109,26 @@ let test_token_rejects_garbage () =
     (fun t -> Alcotest.(check bool) t true (is_error t))
     [
       "garbage";
-      "oacheck9:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:";
-      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0";
-      "oacheck1:pile:oa:t3:o20:k2:p2:m20-40-40:z-:s0:";
-      "oacheck1:list:nope:t3:o20:k2:p2:m20-40-40:z-:s0:";
-      "oacheck1:list:oa:tx:o20:k2:p2:m20-40-40:z-:s0:";
-      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-41:z-:s0:";
-      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z1.50:s0:";
-      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:12.0,boom";
-      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:-3.0";
+      "oacheck9:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b1:a-:";
+      (* version-1 tokens predate the batch and arena fields and must be
+         rejected rather than silently defaulted — replay is exact or
+         nothing *)
+      "oacheck1:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:";
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b1:a-";
+      "oacheck2:pile:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b1:a-:";
+      "oacheck2:list:nope:t3:o20:k2:p2:m20-40-40:z-:s0:b1:a-:";
+      "oacheck2:list:oa:tx:o20:k2:p2:m20-40-40:z-:s0:b1:a-:";
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-41:z-:s0:b1:a-:";
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z1.50:s0:b1:a-:";
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b1:a-:12.0,boom";
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b1:a-:-3.0";
+      (* malformed batch field: zero, negative, non-numeric *)
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b0:a-:";
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b-1:a-:";
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:bx:a-:";
+      (* malformed arena field: zero slack, non-numeric *)
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b1:a0:";
+      "oacheck2:list:oa:t3:o20:k2:p2:m20-40-40:z-:s0:b1:ax:";
     ]
 
 (* --- the end-to-end guarantees --- *)
@@ -212,6 +230,139 @@ let test_structures_clean () =
           Alcotest.failf "unreproducible at seed %d" seed)
     [ Oa_harness.Experiment.Hash_table; Oa_harness.Experiment.Skip_list ]
 
+(* --- the batched execution path --- *)
+
+let batchshift = F.specs_of_name ~threads:3 "batchshift" |> Option.get
+
+let test_batchshift_registered () =
+  (* The batch-boundary injector is reachable by name, and stays out of
+     the calibrated "all" battery (adding it would shift the broken-HP
+     catch-rate calibration). *)
+  Alcotest.(check int) "one spec" 1 (List.length batchshift);
+  Alcotest.(check bool)
+    "not in the default battery" false
+    (List.exists
+       (fun s -> F.name s = "batchshift")
+       (F.all_specs ~threads:3))
+
+let test_batched_replay_reproduces_drive () =
+  (* Replay fidelity must survive the batched path: same overrides, same
+     decision trace, even when ops are regrouped through run_batch. *)
+  let sc = { Sc.default with Sc.batch = 5 } in
+  let a = drive ~faults:batchshift ~seed:13 sc in
+  let b = Sc.run ~mode:(Sc.Replay a.Sc.overrides) sc in
+  Alcotest.(check (array int)) "replayed decisions" a.Sc.decisions b.Sc.decisions;
+  Alcotest.(check int) "replayed steps" a.Sc.steps b.Sc.steps
+
+let sweep_clean ~name ~seeds ~faults sc =
+  match X.run ~policy:P.Random_walk ~faults ~seeds ~seed0:0 ~shrink_budget:0 sc with
+  | X.Clean _ -> ()
+  | X.Failed r ->
+      Alcotest.failf "%s failed at seed %d: %s" name r.X.seed
+        (Format.asprintf "%a" Sc.pp_failure_kind r.X.kind)
+  | X.Unreproducible { seed; _ } ->
+      Alcotest.failf "%s unreproducible at seed %d" name seed
+
+let test_batched_schemes_clean () =
+  (* Every real scheme survives adversarial schedules that cross
+     batch-interior operation boundaries.  Batch 4 over 20 ops per thread
+     exercises full groups plus a ragged tail. *)
+  List.iter
+    (fun id ->
+      let sc =
+        { Sc.default with Sc.scheme = Sc.Real id; Sc.batch = 4 }
+      in
+      sweep_clean ~name:(Schemes.id_name id) ~seeds:10 ~faults:adversarial sc)
+    Schemes.all_ids
+
+let test_batched_structures_clean () =
+  (* Hash table (bucket-sorted batches) and skip list under the batched
+     path and the batch-boundary injector. *)
+  List.iter
+    (fun structure ->
+      let sc = { Sc.default with Sc.structure; Sc.batch = 4 } in
+      sweep_clean
+        ~name:(Oa_harness.Experiment.structure_name structure)
+        ~seeds:10 ~faults:batchshift sc)
+    [
+      Oa_harness.Experiment.Linked_list;
+      Oa_harness.Experiment.Hash_table;
+      Oa_harness.Experiment.Skip_list;
+    ]
+
+let test_broken_hp_caught_batched () =
+  (* The explorer's detection power must not regress when ops execute in
+     batches: the hazard-carry fast path only ever reuses *validated*
+     hazards, so the broken scheme (which never validates) stays just as
+     catchable. *)
+  let sc = { Sc.default with Sc.scheme = Sc.Broken_hp; Sc.batch = 4 } in
+  match
+    X.run ~policy:P.Random_walk ~faults:adversarial ~seeds:100 ~seed0:0
+      ~shrink_budget:0 sc
+  with
+  | X.Clean _ -> Alcotest.fail "broken HP survived 100 batched seeds"
+  | X.Unreproducible { seed; _ } ->
+      Alcotest.failf "unreproducible at seed %d" seed
+  | X.Failed _ -> ()
+
+(* Mutation-heavy batched scenario on a tight arena: allocation pressure
+   forces reclamation phases during the run, so OA raises warning bits
+   mid-batch.  Calibrated empirically: at slack 1 every probed seed shows
+   OA rollbacks with OA failure-free; slack 4 is comfortable for every
+   reclaiming scheme (HP can pin up to hp_slots x threads nodes, so it
+   needs the extra headroom). *)
+let tight_batched ~slack scheme =
+  {
+    Sc.default with
+    Sc.scheme;
+    Sc.key_range = 4;
+    Sc.prefill = 4;
+    Sc.ops_per_thread = 18;
+    Sc.mix = Oa_workload.Op_mix.v ~read_pct:10 ~insert_pct:45 ~delete_pct:45;
+    Sc.batch = 4;
+    Sc.arena_slack = Some slack;
+  }
+
+let test_oa_rolls_back_inside_batch () =
+  (* The OA batch entry clears a pending warning bit without rolling back
+     (nothing is in flight at a batch boundary), but a warning raised
+     *inside* the batch must still trigger the read-barrier rollback.
+     Drive batched OA under allocation pressure and the batch-boundary
+     injector until a run shows restarts; every run must stay
+     linearizable, and reclamation must actually have happened
+     (phases > 0, recycled <= retired). *)
+  let sc = tight_batched ~slack:1 (Sc.Real Schemes.Optimistic_access) in
+  let rolled_back = ref false in
+  let seed = ref 0 in
+  while (not !rolled_back) && !seed < 20 do
+    let o = drive ~faults:batchshift ~seed:!seed sc in
+    (match o.Sc.result with
+    | Ok () -> ()
+    | Error f ->
+        Alcotest.failf "OA failed at seed %d: %s" !seed
+          (Format.asprintf "%a" Sc.pp_failure_kind f.Sc.kind));
+    if o.Sc.smr.I.restarts > 0 then begin
+      rolled_back := true;
+      Alcotest.(check bool) "reclamation phases ran" true (o.Sc.smr.I.phases > 0);
+      Alcotest.(check bool)
+        "conservation" true
+        (o.Sc.smr.I.recycled <= o.Sc.smr.I.retires)
+    end;
+    incr seed
+  done;
+  Alcotest.(check bool) "observed an in-batch rollback" true !rolled_back
+
+let test_tight_arena_schemes_clean () =
+  (* The same pressure-cooker scenario, across every reclaiming scheme and
+     a small seed sweep: phases fire mid-run and nothing breaks.
+     No_reclamation is excluded by construction — it cannot survive a
+     tight arena. *)
+  List.iter
+    (fun id ->
+      let sc = tight_batched ~slack:4 (Sc.Real id) in
+      sweep_clean ~name:(Schemes.id_name id) ~seeds:10 ~faults:batchshift sc)
+    (List.filter (fun id -> id <> Schemes.No_reclamation) Schemes.all_ids)
+
 let () =
   Alcotest.run "check"
     [
@@ -239,5 +390,21 @@ let () =
           Alcotest.test_case "shrinker sound" `Quick test_shrinker_sound;
           Alcotest.test_case "real schemes clean" `Quick test_real_schemes_clean;
           Alcotest.test_case "structures clean" `Quick test_structures_clean;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "batchshift registered" `Quick
+            test_batchshift_registered;
+          Alcotest.test_case "replay = drive" `Quick
+            test_batched_replay_reproduces_drive;
+          Alcotest.test_case "schemes clean" `Quick test_batched_schemes_clean;
+          Alcotest.test_case "structures clean" `Quick
+            test_batched_structures_clean;
+          Alcotest.test_case "broken HP caught" `Quick
+            test_broken_hp_caught_batched;
+          Alcotest.test_case "OA rolls back in batch" `Quick
+            test_oa_rolls_back_inside_batch;
+          Alcotest.test_case "tight arena clean" `Quick
+            test_tight_arena_schemes_clean;
         ] );
     ]
