@@ -38,6 +38,19 @@ dune exec bin/oa_cli.exe -- check --scheme oa --batch 4 --slack 2 \
 dune exec bin/oa_cli.exe -- check --scheme oa -s skiplist --batch 4 \
   --seeds 25 --quiet
 
+# Elastic-arena churn smoke (docs/memory.md): --churn backs the checked
+# structure with the elastic allocator at a tiny 8-node chunk size, so
+# the explorer's adversarial schedules constantly cross chunk
+# grow/decommit/re-open boundaries while the retire/reclaim conservation
+# oracle watches.  All six schemes, plus one batched run (reclamation
+# phases landing inside batches while chunks decommit underneath).
+echo "== oa_cli check churn smoke (elastic arena)"
+for s in norecl oa hp ebr anchors rc; do
+  dune exec bin/oa_cli.exe -- check --scheme "$s" --churn --seeds 25 --quiet
+done
+dune exec bin/oa_cli.exe -- check --scheme oa --churn --batch 4 \
+  --seeds 25 --quiet
+
 # Server smoke (docs/server.md): serve the sharded table over loopback,
 # drive it with the closed-loop load generator, then deliver SIGINT and
 # require a graceful drain with a clean conservation verdict (serve exits
@@ -119,6 +132,18 @@ dune exec bin/oa_cli.exe -- bench-core --schemes oa,hp,ebr \
 test -s BENCH_core.json
 echo "== BENCH_core.json"
 cat BENCH_core.json
+
+# The elastic allocator's RSS-over-time curve (docs/memory.md) rides in
+# BENCH_core.json; pull it out into its own small artifact so the
+# grow/shrink shape is reviewable at a glance.
+{
+  printf '{'
+  sed -n '/"rss_curve"/,/\]/p' BENCH_core.json | sed '$s/,$//'
+  printf '}\n'
+} > RSS_curve.json
+grep -q '"rss_curve"' RSS_curve.json
+echo "== RSS_curve.json"
+cat RSS_curve.json
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt"

@@ -367,6 +367,18 @@ let check_cmd =
              generous sizing, no allocation pressure.  Only meaningful \
              for schemes that reclaim (not $(b,none)).")
   in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Memory-churn mode: back the structure with the elastic arena \
+             carved into tiny (8-node) chunks, so every execution crosses \
+             chunk boundaries, grows the mapping under pressure and \
+             decommits fully-free chunks at quiescence — checking the \
+             allocator's grow/shrink protocol under the same adversarial \
+             schedules and retire/reclaim conservation oracle.")
+  in
   let seeds =
     Arg.(
       value & opt int 100
@@ -441,7 +453,7 @@ let check_cmd =
       history
   in
   let run structure scheme threads ops_per_thread key_range prefill mix theta
-      batch arena_slack seeds seed0 policy pct_depth faults shrink_budget
+      batch arena_slack churn seeds seed0 policy pct_depth faults shrink_budget
       expect_fail replay quiet =
     let finish ~violation =
       exit (if violation <> expect_fail then 1 else 0)
@@ -458,6 +470,7 @@ let check_cmd =
         theta;
         batch;
         arena_slack;
+        elastic = churn;
         seed = seed0;
       }
     in
@@ -549,8 +562,8 @@ let check_cmd =
           token on failure.")
     Term.(
       const run $ structure $ scheme $ threads $ ops $ keys $ prefill $ mix
-      $ zipf $ batch $ slack $ seeds $ seed0 $ policy $ pct_depth $ faults
-      $ shrink_budget $ expect_fail $ replay $ quiet)
+      $ zipf $ batch $ slack $ churn $ seeds $ seed0 $ policy $ pct_depth
+      $ faults $ shrink_budget $ expect_fail $ replay $ quiet)
 
 (* --- serve --- *)
 
@@ -613,6 +626,15 @@ let serve_cmd =
       value & opt int d.Sv.dequeue_batch
       & info [ "batch" ] ~doc:"Max requests a worker dequeues at once.")
   in
+  let elastic =
+    Arg.(
+      value & flag
+      & info [ "elastic" ]
+          ~doc:
+            "Back each shard with the elastic chunked arena: no fixed \
+             capacity, fully-free chunks returned to the OS (see \
+             docs/memory.md).")
+  in
   let duration =
     Arg.(
       value & opt float 0.0
@@ -630,7 +652,7 @@ let serve_cmd =
              line-delimited JSON to $(docv); $(b,-) writes to stdout.")
   in
   let run scheme shards workers port prefill keys delta chunk queue_capacity
-      batch duration metrics =
+      batch elastic duration metrics =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let cfg =
       {
@@ -644,6 +666,7 @@ let serve_cmd =
         queue_capacity;
         dequeue_batch = batch;
         seed = 1;
+        elastic;
       }
     in
     let service = Sv.create cfg in
@@ -712,7 +735,7 @@ let serve_cmd =
           requests, runs a final reclamation pass and reports conservation.")
     Term.(
       const run $ scheme $ shards $ workers $ port $ prefill $ keys $ delta
-      $ chunk $ queue_capacity $ batch $ duration $ metrics)
+      $ chunk $ queue_capacity $ batch $ elastic $ duration $ metrics)
 
 (* --- loadgen --- *)
 
@@ -866,7 +889,12 @@ let bench_core_cmd =
     Arg.(value & opt int 1_000 & info [ "prefill"; "p" ] ~doc:"Initial size.")
   in
   let repeats =
-    Arg.(value & opt int 1 & info [ "repeats" ] ~doc:"Repetitions per point.")
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ]
+          ~doc:
+            "Repetitions per point; the $(b,median) throughput is reported, \
+             so a single descheduled run cannot skew a point.")
   in
   let batches =
     Arg.(
@@ -886,6 +914,11 @@ let bench_core_cmd =
           ~doc:"Machine-readable result; $(b,-) suppresses the file.")
   in
   let run schemes domains ops prefill repeats batches json =
+    (* middle element of the sorted sample: robust against one noisy run *)
+    let median l =
+      let s = List.sort compare l in
+      List.nth s (List.length s / 2)
+    in
     let point scheme backend threads =
       let spec =
         {
@@ -901,13 +934,12 @@ let bench_core_cmd =
       in
       let results = E.run_repeated ~repeats spec in
       let tps = List.map (fun r -> r.E.throughput) results in
-      let mean = List.fold_left ( +. ) 0.0 tps /. float_of_int repeats in
       let stats =
         List.fold_left
           (fun acc r -> Oa_core.Smr_intf.add_stats acc r.E.smr_stats)
           Oa_core.Smr_intf.empty_stats results
       in
-      (mean, stats)
+      (median tps, stats)
     in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf "{\n";
@@ -915,8 +947,10 @@ let bench_core_cmd =
     Printf.bprintf buf "  \"ops\": %d,\n" ops;
     Printf.bprintf buf "  \"prefill\": %d,\n" prefill;
     Printf.bprintf buf "  \"repeats\": %d,\n" repeats;
-    Printf.bprintf buf "  \"host_cores\": %d,\n"
-      (Domain.recommended_domain_count ());
+    (* the machine's real core count, not OCaml's (possibly clamped)
+       recommended domain count — readers of the JSON need to know how
+       oversubscribed the domain sweep was *)
+    Printf.bprintf buf "  \"host_cores\": %d,\n" (Oa_runtime.Sysinfo.nproc ());
     Buffer.add_string buf "  \"points\": [\n";
     Format.printf "hash-table throughput, flat vs boxed real backend@.";
     Format.printf "%-8s %8s %12s %12s %8s@." "scheme" "domains" "boxed Mops"
@@ -1057,13 +1091,13 @@ let bench_core_cmd =
         let dt = Unix.gettimeofday () -. t0 in
         (float_of_int (bench_threads * executed) /. dt, S.stats (H.smr tbl))
       in
-      let rec go n (tp_acc, st_acc) =
-        if n = 0 then (tp_acc /. float_of_int repeats, st_acc)
+      let rec go n (tps, st_acc) =
+        if n = 0 then (median tps, st_acc)
         else
           let tp, st = one () in
-          go (n - 1) (tp_acc +. tp, Oa_core.Smr_intf.add_stats st_acc st)
+          go (n - 1) (tp :: tps, Oa_core.Smr_intf.add_stats st_acc st)
       in
-      go repeats (0.0, Oa_core.Smr_intf.empty_stats)
+      go repeats ([], Oa_core.Smr_intf.empty_stats)
     in
     Format.printf "@.batched execution sweep, flat backend, %d domains@."
       bench_threads;
@@ -1111,6 +1145,95 @@ let bench_core_cmd =
             (fun (s, r) -> Printf.sprintf "\"%s\": %.3f" (Schemes.id_name s) r)
             (List.rev !speedups)));
     Buffer.add_string buf "}\n  },\n";
+    (* RSS-over-time probe: drive the elastic allocator on the flat
+       backend through a full grow/shrink cycle — prefill, grow to 10x,
+       delete everything, quiesce — and sample memory at each phase
+       boundary.  [committed_bytes] is the allocator's own chunk gauge
+       (deterministic); [rss_bytes] is the OS view from /proc.  The
+       post-quiesce row landing back near the post-prefill baseline is
+       the visible form of the churn test's assertion: fully-free chunks
+       really are decommitted back to the OS. *)
+    let churn_nodes = 10 * max prefill 20_000 in
+    let rss_curve =
+      let module R = (val Oa_runtime.Real_backend.make ~max_threads:2 ()) in
+      let module Sch = Schemes.Make (R) in
+      let module S = (val Sch.pack Schemes.Hazard_pointers) in
+      let module H = Oa_structures.Hash_table.Make (S) in
+      let cfg =
+        {
+          Oa_core.Smr_intf.default_config with
+          Oa_core.Smr_intf.chunk_size = 16;
+          retire_threshold = 64;
+        }
+      in
+      let tbl =
+        H.create ~elastic:true ~chunk_nodes:4096 ~capacity:churn_nodes
+          ~expected_size:prefill cfg
+      in
+      let ctx = ref None in
+      let phase f =
+        (* one worker, re-using a single scheme context across phases so
+           its retired buffer survives to the final quiesce *)
+        R.par_run ~n:1 (fun _ ->
+            let c =
+              match !ctx with
+              | Some c -> c
+              | None ->
+                  let c = H.register tbl in
+                  ctx := Some c;
+                  c
+            in
+            f c)
+      in
+      let sample name =
+        Gc.compact ();
+        ( name,
+          Oa_runtime.Sysinfo.rss_bytes (),
+          match
+            List.assoc_opt "mem_committed_bytes" (H.A.gauges (H.arena tbl))
+          with
+          | Some v -> v
+          | None -> 0 )
+      in
+      phase (fun c ->
+          for k = 1 to prefill do
+            ignore (H.insert tbl c k)
+          done;
+          H.quiesce c);
+      let s0 = sample "post_prefill" in
+      phase (fun c ->
+          for k = prefill + 1 to churn_nodes do
+            ignore (H.insert tbl c k)
+          done);
+      let s1 = sample "peak" in
+      phase (fun c ->
+          for k = 1 to churn_nodes do
+            ignore (H.delete tbl c k)
+          done);
+      let s2 = sample "post_delete" in
+      phase (fun c -> H.quiesce c);
+      let s3 = sample "post_quiesce" in
+      [ s0; s1; s2; s3 ]
+    in
+    Format.printf "@.elastic memory curve, flat backend (%d nodes churned)@."
+      churn_nodes;
+    Format.printf "%-14s %14s %16s@." "phase" "rss MiB" "committed MiB";
+    List.iter
+      (fun (name, rss, committed) ->
+        Format.printf "%-14s %14.1f %16.1f@." name
+          (float_of_int rss /. 1048576.)
+          (float_of_int committed /. 1048576.))
+      rss_curve;
+    Buffer.add_string buf "  \"rss_curve\": [\n";
+    List.iteri
+      (fun i (name, rss, committed) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Printf.bprintf buf
+          "    {\"phase\": \"%s\", \"rss_bytes\": %d, \
+           \"committed_bytes\": %d}"
+          name rss committed)
+      rss_curve;
+    Buffer.add_string buf "\n  ],\n";
     Buffer.add_string buf "  \"conservation_ok\": true\n}\n";
     if json <> "-" then begin
       let oc = open_out json in

@@ -80,6 +80,14 @@ type t = {
           and rolls readers back, HP scans under pressure, EBR flips
           epochs under pressure.  Use only with schemes that reclaim
           ([No_reclamation] will exhaust a tight arena and crash). *)
+  elastic : bool;
+      (** back the structure with an elastic arena ({!Oa_mem.Arena}) carved
+          into deliberately tiny chunks (8 nodes) instead of the fixed
+          bump arena, so a run crosses many chunk boundaries, triggers
+          on-demand growth ([Mem_grow]) under allocation pressure, and
+          sheds fully-free chunks ([Mem_shrink]) when schemes quiesce —
+          exercising the allocator's grow/decommit protocol under the
+          same adversarial schedules and conservation oracle *)
   seed : int;
 }
 
@@ -102,6 +110,7 @@ let default =
     theta = None;
     batch = 1;
     arena_slack = None;
+    elastic = false;
     seed = 0;
   }
 
@@ -213,12 +222,16 @@ let run ~mode sc =
         (module B : Sch.S_with_r)
   in
   let capacity = arena_capacity sc in
+  (* Elastic runs use deliberately tiny chunks so even a 60-operation
+     scenario crosses several chunk boundaries and decommits on quiesce. *)
+  let elastic = sc.elastic in
+  let chunk_nodes = if sc.elastic then Some 8 else None in
   let register, validate, to_list, scheme_stats =
     match sc.structure with
     | E.Linked_list ->
         let module Ll = Oa_structures.Linked_list.Make (S) in
         let cfg = smr_config ~hp_slots:3 ~max_cas:1 in
-        let t = Ll.create ~obs:sink ~capacity cfg in
+        let t = Ll.create ~obs:sink ~elastic ?chunk_nodes ~capacity cfg in
         ( (fun _tid ->
             let ctx = Ll.register t in
             {
@@ -234,7 +247,8 @@ let run ~mode sc =
         let module H = Oa_structures.Hash_table.Make (S) in
         let cfg = smr_config ~hp_slots:3 ~max_cas:1 in
         let t =
-          H.create ~obs:sink ~capacity ~expected_size:(max 2 sc.prefill) cfg
+          H.create ~obs:sink ~elastic ?chunk_nodes ~capacity
+            ~expected_size:(max 2 sc.prefill) cfg
         in
         ( (fun _tid ->
             let ctx = H.register t in
@@ -252,7 +266,7 @@ let run ~mode sc =
         let cfg =
           smr_config ~hp_slots:Sl.hp_slots_needed ~max_cas:Sl.max_cas_needed
         in
-        let t = Sl.create ~obs:sink ~capacity cfg in
+        let t = Sl.create ~obs:sink ~elastic ?chunk_nodes ~capacity cfg in
         ( (fun tid ->
             let ctx = Sl.register ~seed:(sc.seed + tid + 13) t in
             {

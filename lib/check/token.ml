@@ -9,16 +9,18 @@
     prefill) is already determined by the seed.
 
     Format (version-prefixed, [:]-separated):
-    {v oacheck2:list:broken-hp:t3:o18:k6:p6:m20-40-40:z0.90:s17:b1:a-:41.2,97.0 v}
+    {v oacheck3:list:broken-hp:t3:o18:k6:p6:m20-40-40:z0.90:s17:b1:a-:e0:41.2,97.0 v}
     ([z-] when the key distribution is uniform; [b] is the scenario's
     batch size, [b1] = the per-op path; [a] is the arena slack, [a-] =
-    generous sizing.)  The final field is the override list and may be
-    empty.  Version 2 added the [b] and [a] fields; [oacheck1] tokens are
-    rejected as an unknown version rather than silently given defaults —
-    a replay must reproduce the recorded execution exactly, and the
-    encoding scenario knew its batch size and arena sizing. *)
+    generous sizing; [e1] when the scenario runs on an elastic arena,
+    [e0] on the fixed one.)  The final field is the override list and may
+    be empty.  Version 2 added the [b] and [a] fields and version 3 the
+    [e] field; older tokens are rejected as an unknown version rather
+    than silently given defaults — a replay must reproduce the recorded
+    execution exactly, and the encoding scenario knew its batch size,
+    arena sizing and elasticity. *)
 
-let version = "oacheck2"
+let version = "oacheck3"
 
 let structure_name = function
   | Oa_harness.Experiment.Linked_list -> "list"
@@ -33,7 +35,8 @@ let structure_of_name = function
 
 let encode (sc : Scenario.t) (overrides : (int * int) list) =
   let m = sc.Scenario.mix in
-  Printf.sprintf "%s:%s:%s:t%d:o%d:k%d:p%d:m%d-%d-%d:%s:s%d:b%d:%s:%s" version
+  Printf.sprintf "%s:%s:%s:t%d:o%d:k%d:p%d:m%d-%d-%d:%s:s%d:b%d:%s:e%d:%s"
+    version
     (structure_name sc.Scenario.structure)
     (Scenario.scheme_name sc.Scenario.scheme)
     sc.Scenario.threads sc.Scenario.ops_per_thread sc.Scenario.key_range
@@ -46,6 +49,7 @@ let encode (sc : Scenario.t) (overrides : (int * int) list) =
     (match sc.Scenario.arena_slack with
     | None -> "a-"
     | Some n -> Printf.sprintf "a%d" n)
+    (if sc.Scenario.elastic then 1 else 0)
     (String.concat ","
        (List.map (fun (s, tid) -> Printf.sprintf "%d.%d" s tid) overrides))
 
@@ -58,7 +62,7 @@ let decode token =
     else None
   in
   match String.split_on_char ':' token with
-  | [ v; st; sch; t; o; k; p; m; z; s; b; a; ovs ] when v = version -> (
+  | [ v; st; sch; t; o; k; p; m; z; s; b; a; e; ovs ] when v = version -> (
       let mix =
         match String.split_on_char '-' m with
         | [ mr; mi; md ] when String.length mr > 1 && mr.[0] = 'm' -> (
@@ -80,6 +84,9 @@ let decode token =
           | Some th when th > 0.0 && th < 1.0 -> Some (Some th)
           | _ -> None
         else None
+      in
+      let elastic =
+        match e with "e0" -> Some false | "e1" -> Some true | _ -> None
       in
       let arena_slack =
         if a = "a-" then Some None
@@ -115,6 +122,7 @@ let decode token =
           int_field ~tag:"s" s,
           int_field ~tag:"b" b,
           arena_slack,
+          elastic,
           overrides )
       with
       | ( Some structure,
@@ -128,6 +136,7 @@ let decode token =
           Some seed,
           Some batch,
           Some arena_slack,
+          Some elastic,
           Some overrides )
         when batch >= 1 ->
           Ok
@@ -142,13 +151,14 @@ let decode token =
                 theta;
                 batch;
                 arena_slack;
+                elastic;
                 seed;
               },
               overrides )
       | _ -> fail "replay token %S: malformed field" token)
   | v :: _ when v <> version ->
       fail "replay token %S: unknown version (expected %s)" token version
-  | _ -> fail "replay token %S: expected 13 ':'-separated fields" token
+  | _ -> fail "replay token %S: expected 14 ':'-separated fields" token
 
 (** [replay token] decodes and re-executes the token's scenario with its
     overrides pinned, returning the outcome. *)

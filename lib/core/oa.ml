@@ -441,7 +441,10 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       ctx.retire_chunk <- VP.make_chunk ctx.mm.cfg.Smr_intf.chunk_size
     end;
     recycle ctx;
-    recycle ctx
+    recycle ctx;
+    (* elastic arenas: hand the recycled slots back to their chunks so
+       fully-free chunks can return their pages to the OS *)
+    VP.drain_ready ?obs:ctx.o ~arena:ctx.mm.arena ~ready:ctx.mm.ready ()
 
   let stats mm =
     List.fold_left

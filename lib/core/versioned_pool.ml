@@ -112,17 +112,29 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
       go 1
   end
 
+  (** Build a chunk of up to [k] allocatable node indices via
+      {!Arena.take} (recycled free-list slots first on an elastic arena,
+      bump space otherwise), or [None] when the arena is dry. *)
+  let chunk_take arena k =
+    let c = make_chunk k in
+    c.len <- A.take arena ~dst:c.slots ~max:k;
+    if c.len > 0 then Some c else None
+
   (** The allocation slow path shared by every reclaiming scheme: take a
-      chunk from the shared ready pool, else from the arena's bump region,
-      else run the scheme's [reclaim] and retry.  [obs] (the calling
-      thread's recorder, when telemetry is enabled) receives a [Pool_pop]
-      per ready-pool hit and an [Alloc_stall] per reclamation round forced
-      by an empty pool and bump region.  [reclaim ~attempt]
+      chunk from the shared ready pool, else from the arena ({!A.take}:
+      free-list slots then bump space), else run the scheme's [reclaim]
+      and retry — and, on an elastic arena, map a fresh chunk only once a
+      reclamation round reports no progress, so growth never lets the
+      scheme stop reclaiming.  [obs] (the calling thread's recorder, when
+      telemetry is enabled) receives a [Pool_pop] per ready-pool hit, an
+      [Alloc_stall] per reclamation round forced by an empty pool and
+      arena, and a [Mem_grow] per mapped chunk.  [reclaim ~attempt]
       returns whether reclamation progressed anywhere in the system (not
-      necessarily for this thread); progress resets the retry budget, so a
-      thread only gives up — raising {!Smr_intf.Arena_exhausted} — when
-      reclamation as a whole is stuck, i.e. the arena is undersized for
-      the workload. *)
+      necessarily for this thread); progress — like growth — resets the
+      retry budget, so a thread only gives up — raising
+      {!Smr_intf.Arena_exhausted} — when reclamation as a whole is stuck
+      and the arena cannot grow, i.e. a fixed arena is undersized for the
+      workload (or an elastic one ran out of reserved address space). *)
   let refill ?obs ~arena ~ready ~chunk_size ~reclaim () =
     let rec attempt n =
       if n > 1000 then raise Smr_intf.Arena_exhausted;
@@ -132,17 +144,40 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
           c
       | Some _ -> attempt n
       | None -> (
-          match chunk_from_bump arena chunk_size with
+          match chunk_take arena chunk_size with
           | Some c -> c
-          | None -> (
-              match chunk_from_bump arena 1 with
-              | Some c -> c
-              | None ->
-                  (* both the ready pool and the bump region are dry:
-                     allocation stalls on a reclamation round *)
-                  Smr_intf.obs_incr obs Oa_obs.Event.Alloc_stall;
-                  let progressed = reclaim ~attempt:n in
-                  attempt (if progressed then 1 else n + 1)))
+          | None ->
+              (* both the ready pool and the arena are dry: allocation
+                 stalls on a reclamation round *)
+              Smr_intf.obs_incr obs Oa_obs.Event.Alloc_stall;
+              let progressed = reclaim ~attempt:n in
+              if progressed then attempt 1
+              else if A.grow arena then begin
+                Smr_intf.obs_incr obs Oa_obs.Event.Mem_grow;
+                attempt 1
+              end
+              else attempt (n + 1))
     in
     attempt 0
+
+  (** [drain_ready ?obs ~arena ~ready ()] empties the shared ready pool
+      back into an {e elastic} arena's per-chunk free lists — the shrink
+      half of the allocator fusion, called by every scheme's [quiesce]
+      after its own reclamation pass.  A release that empties a chunk
+      decommits its pages ([Mem_shrink] per decommit).  On a fixed arena
+      this is a no-op: the pools are its only free list, so draining them
+      would leak the slots. *)
+  let drain_ready ?obs ~arena ~ready () =
+    if A.is_elastic arena then
+      let rec go () =
+        match Plain.pop ready with
+        | None -> ()
+        | Some c ->
+            while not (chunk_empty c) do
+              if A.release arena (chunk_pop c) then
+                Smr_intf.obs_incr obs Oa_obs.Event.Mem_shrink
+            done;
+            go ()
+      in
+      go ()
 end

@@ -1,22 +1,42 @@
-(** Pre-allocated node arena.
+(** Node arena.
 
-    All nodes of a data structure live in a fixed-capacity arena of
-    [n_fields]-word nodes; {!Ptr.t} values index into it.  The arena is
-    never unmapped, so reading a field of a node that has been retired and
-    recycled never faults — it returns whatever the new owner wrote, i.e. a
-    stale value.  This is exactly the environment the optimistic access
-    scheme is designed for (the paper's Assumption 3.1).
+    All nodes of a data structure live in an arena of [n_fields]-word
+    nodes; {!Ptr.t} values index into it.  The arena is never unmapped,
+    so reading a field of a node that has been retired and recycled never
+    faults — it returns whatever the new owner wrote, i.e. a stale value.
+    This is exactly the environment the optimistic access scheme is
+    designed for (the paper's Assumption 3.1).
 
-    Allocation policy is owned by the SMR schemes; the arena only provides
-    storage plus a bump region for never-yet-allocated nodes. *)
+    Two storage representations share the interface:
+
+    - [`Fixed] (the default): the original pre-allocated arena — one
+      [node_cells] carve of [capacity] nodes plus a bump cell.  Recycled
+      slots live only in the schemes' pools; the arena itself never takes
+      memory back, and allocation past [capacity] fails.
+    - [`Elastic]: storage is an {!Oa_alloc} chunk table.  {!take} prefers
+      recycled slots, {!grow} maps further chunks on demand (no fixed
+      capacity), and {!release} returns slots to their home chunk —
+      decommitting a chunk's pages back to the OS once it is fully free.
+      Decommit keeps the mapping intact, so Assumption 3.1 survives
+      shrink: a stale read of a decommitted node yields zeros, never a
+      fault.
+
+    Allocation policy is owned by the SMR schemes; the arena provides
+    storage, a bump region for never-yet-allocated nodes and — when
+    elastic — the recycle/grow/shrink machinery beneath them. *)
 
 module Make (R : Oa_runtime.Runtime_intf.S) = struct
-  type t = {
-    n_fields : int;
-    capacity : int;
-    nodes : R.cell array array;  (* indexed [node].(field) *)
-    bump : R.cell;
-  }
+  module Al = Oa_alloc.Make (R)
+
+  type repr =
+    | Fixed of {
+        capacity : int;
+        nodes : R.cell array array;  (* indexed [node].(field) *)
+        bump : R.cell;
+      }
+    | Elastic of Al.t
+
+  type t = { n_fields : int; repr : repr }
 
   let create ~capacity ~n_fields =
     if capacity <= 0 || n_fields <= 0 then invalid_arg "Arena.create";
@@ -27,33 +47,116 @@ module Make (R : Oa_runtime.Runtime_intf.S) = struct
     let m = R.node_cells ~nodes:capacity ~fields:n_fields in
     {
       n_fields;
-      capacity;
-      nodes = Array.init capacity (fun j -> Array.init n_fields (fun f -> m.(f).(j)));
-      bump = R.cell 0;
+      repr =
+        Fixed
+          {
+            capacity;
+            nodes =
+              Array.init capacity (fun j ->
+                  Array.init n_fields (fun f -> m.(f).(j)));
+            bump = R.cell 0;
+          };
     }
 
-  let capacity t = t.capacity
+  let create_elastic ?chunk_nodes ~n_fields () =
+    if n_fields <= 0 then invalid_arg "Arena.create";
+    { n_fields; repr = Elastic (Al.create ?chunk_nodes ~n_fields ()) }
+
+  let capacity t =
+    match t.repr with
+    | Fixed f -> f.capacity
+    | Elastic a -> Al.capacity a
+
   let n_fields t = t.n_fields
+
+  let is_elastic t =
+    match t.repr with Fixed _ -> false | Elastic _ -> true
 
   (** [field t p f] is the cell of field [f] of the node [p] points to.
       [p] must be unmarked and non-null. *)
-  let field t p f = t.nodes.(Ptr.index p).(f)
+  let field t p f =
+    match t.repr with
+    | Fixed fx -> fx.nodes.(Ptr.index p).(f)
+    | Elastic a -> Al.field a (Ptr.index p) f
 
   let read t p f = R.read (field t p f)
   let write t p f v = R.write (field t p f) v
   let cas t p f ~expected v = R.cas (field t p f) expected v
 
-  (** [bump_range t n] grabs [n] fresh node indices from the bump region,
-      returning the first, or [None] when fewer than [n] remain. *)
+  (** [bump_range t n] grabs [n] fresh consecutive node indices,
+      returning the first.  Fixed: from the bump region, [None] when
+      fewer than [n] remain.  Elastic: from the open chunk (mapping more
+      chunks as needed), [None] only when the backend's address-space
+      reservation is exhausted. *)
   let bump_range t n =
-    let first = R.faa t.bump n in
-    if first + n <= t.capacity then Some first else None
+    match t.repr with
+    | Fixed f ->
+        let first = R.faa f.bump n in
+        if first + n <= f.capacity then Some first else None
+    | Elastic a -> Al.bump_region a n
 
-  let bump_used t = min (R.read t.bump) t.capacity
+  let bump_used t =
+    match t.repr with
+    | Fixed f -> min (R.read f.bump) f.capacity
+    | Elastic a -> Al.bump_used a
+
+  (** [take t ~dst ~max] fills [dst.(0 .. r-1)] with up to [max]
+      allocatable node indices and returns [r].  Fixed: bump region only
+      (all-or-single, preserving the historical refill policy).  Elastic:
+      recycled slots first, then fresh bump space; [r = 0] means every
+      mapped chunk is exhausted and the caller should {!grow}. *)
+  let take t ~dst ~max =
+    match t.repr with
+    | Fixed _ -> (
+        match bump_range t max with
+        | Some first ->
+            for i = 0 to max - 1 do
+              dst.(i) <- first + i
+            done;
+            max
+        | None -> (
+            match bump_range t 1 with
+            | Some first ->
+                dst.(0) <- first;
+                1
+            | None -> 0))
+    | Elastic a -> Al.take a ~dst ~max
+
+  (** [grow t] maps one more chunk.  [false] on a fixed arena, and on an
+      elastic one whose backend reservation is exhausted. *)
+  let grow t =
+    match t.repr with Fixed _ -> false | Elastic a -> Al.grow a
+
+  (** [release t idx] returns a reclaimed node to the arena.  On a fixed
+      arena this is a no-op ([false]): recycled slots must stay in the
+      schemes' pools, the arena has no free lists.  On an elastic arena
+      the slot joins its home chunk's free list; the result is [true]
+      when this release emptied the chunk and its pages went back to the
+      OS. *)
+  let release t idx =
+    match t.repr with Fixed _ -> false | Elastic a -> Al.release a idx
+
+  (** Memory gauges, uniform across representations: [mem_chunks_live],
+      [mem_chunks_mapped] and the committed-byte estimate
+      [mem_committed_bytes]. *)
+  let gauges t =
+    match t.repr with
+    | Fixed _ ->
+        let stride = Oa_alloc.Size_class.stride_words ~fields:t.n_fields in
+        [
+          ("mem_chunks_live", 1);
+          ("mem_chunks_mapped", 1);
+          ( "mem_committed_bytes",
+            bump_used t * stride * Oa_alloc.Size_class.word_bytes );
+        ]
+    | Elastic a -> Al.gauges a
 
   (** Zero all fields of a node, as the paper's allocator does
       ([memset(obj, 0)] in Algorithm 5): one bulk fill on backends whose
       node fields are contiguous words (the flat real backend), per-cell
       writes elsewhere. *)
-  let zero_node t p = R.zero_cells t.nodes.(Ptr.index p)
+  let zero_node t p =
+    match t.repr with
+    | Fixed f -> R.zero_cells f.nodes.(Ptr.index p)
+    | Elastic a -> Al.zero_node a (Ptr.index p)
 end

@@ -171,6 +171,12 @@ let run cfg =
       in
       let results = List.map Domain.join domains in
       let elapsed = Clock.elapsed_s ~since:t0 in
+      (* Re-probe after the run so the memory gauges describe the server
+         at end of load rather than before it; fall back to the opening
+         probe if the server is already gone. *)
+      let stats =
+        match probe cfg with Some s -> s | None -> stats
+      in
       let merged =
         List.fold_left
           (fun a r ->
@@ -203,4 +209,6 @@ let run cfg =
           busy = merged.busy;
           errors = merged.errors;
           latency = merged.latency;
+          chunks_live = (if Array.length stats >= 9 then stats.(8) else 0);
+          rss_bytes = (if Array.length stats >= 10 then stats.(9) else 0);
         }

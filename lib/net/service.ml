@@ -46,6 +46,9 @@ type config = {
   queue_capacity : int;  (** per shard *)
   dequeue_batch : int;
   seed : int;
+  elastic : bool;
+      (** back each shard with the elastic chunked arena ({!Oa_alloc}):
+          no fixed capacity, fully-free chunks returned to the OS *)
 }
 
 let default_config =
@@ -60,6 +63,7 @@ let default_config =
     queue_capacity = 1_024;
     dequeue_batch = 64;
     seed = 1;
+    elastic = false;
   }
 
 (* Per-worker operation bundle; built on the worker's own domain.
@@ -83,6 +87,9 @@ type shard = {
   size : unit -> int;  (** quiescent only *)
   validate : unit -> (unit, string) result;  (** quiescent only *)
   smr_stats : unit -> I.stats;
+  mem_gauges : unit -> (string * int) list;
+      (** the shard arena's memory gauges (chunks live/mapped, committed
+          bytes); cheap atomic reads, safe mid-run *)
 }
 
 type t = {
@@ -119,7 +126,13 @@ let make_shard ~obs ~(cfg : config) : shard =
       epoch_threshold = max 16 (cfg.delta / (2 * max 1 cfg.workers_per_shard));
     }
   in
-  let tbl = H.create ~obs ~capacity ~expected_size:expected smr_cfg in
+  let tbl =
+    H.create ~obs ~elastic:cfg.elastic ~capacity ~expected_size:expected
+      smr_cfg
+  in
+  (* The shard arena feeds the sink's gauge pool: same-named gauges from
+     all shards are summed into one service-wide view per snapshot. *)
+  Oa_obs.Sink.attach_gauges obs (fun () -> H.A.gauges (H.arena tbl));
   {
     queue = Shard_queue.create ~capacity:cfg.queue_capacity;
     register =
@@ -147,6 +160,7 @@ let make_shard ~obs ~(cfg : config) : shard =
     size = (fun () -> List.length (H.to_list tbl));
     validate = (fun () -> H.validate tbl ~limit:(10 * capacity));
     smr_stats = (fun () -> S.stats (H.smr tbl));
+    mem_gauges = (fun () -> H.A.gauges (H.arena tbl));
   }
 
 let create ?(obs = Oa_obs.Sink.create ()) (cfg : config) : t =
@@ -154,6 +168,11 @@ let create ?(obs = Oa_obs.Sink.create ()) (cfg : config) : t =
   if cfg.workers_per_shard <= 0 then
     invalid_arg "Service.create: workers_per_shard must be positive";
   let shards = Array.init cfg.shards (fun _ -> make_shard ~obs ~cfg) in
+  (* One process-wide source next to the per-shard arena gauges: resident
+     set as the OS sees it, so exported snapshots relate the allocator's
+     committed bytes to actual memory. *)
+  Oa_obs.Sink.attach_gauges obs (fun () ->
+      [ ("mem_rss_bytes", Oa_runtime.Sysinfo.rss_bytes ()) ]);
   (* Prefill from the main domain: one registration per shard, random keys
      from the range until [prefill] distinct keys are in. *)
   if cfg.prefill > 0 then begin
@@ -303,11 +322,23 @@ let processed t = Atomic.get t.processed
 let busy_rejections t = Atomic.get t.busy
 let queue_depths t = Array.map (fun s -> Shard_queue.length s.queue) t.shards
 
+(** Sum of one memory gauge over every shard arena (0 for unknown names);
+    cheap atomic reads, safe mid-run. *)
+let mem_gauge t name =
+  Array.fold_left
+    (fun acc s ->
+      match List.assoc_opt name (s.mem_gauges ()) with
+      | Some v -> acc + v
+      | None -> acc)
+    0 t.shards
+
+let chunks_live t = mem_gauge t "mem_chunks_live"
+
 (** The STATS response payload: a versioned flat vector (field order is
     part of the wire contract; new fields append, see docs/server.md).
     [| scheme; shards; workers_per_shard; queue_capacity; processed;
-       busy; exec_errors; dequeue_batch |] where [scheme] indexes
-    {!Schemes.all_ids}. *)
+       busy; exec_errors; dequeue_batch; mem_chunks_live; mem_rss_bytes |]
+    where [scheme] indexes {!Schemes.all_ids}. *)
 let stats_payload t =
   let scheme_idx =
     let rec find i = function
@@ -325,6 +356,8 @@ let stats_payload t =
     Atomic.get t.busy;
     Atomic.get t.exec_errors;
     t.cfg.dequeue_batch;
+    chunks_live t;
+    Oa_runtime.Sysinfo.rss_bytes ();
   |]
 
 let scheme_of_stats_payload (vs : int array) =
@@ -341,6 +374,9 @@ type report = {
   retired : int;  (** {!Oa_obs.Event.Retire} total across all shards *)
   reclaimed : int;  (** {!Oa_obs.Event.Reclaim} total *)
   smr : I.stats;  (** aggregate scheme statistics *)
+  chunks_live : int;  (** arena chunks holding live slots, all shards *)
+  committed_bytes : int;  (** arena bytes committed, all shards *)
+  rss_bytes : int;  (** process resident set; 0 if unreadable *)
   validation : (unit, string) result;
   conservation_ok : bool;
       (** [reclaimed <= retired] and [smr.recycled <= smr.retires]: no
@@ -375,6 +411,9 @@ let drain_report t : report =
     retired;
     reclaimed;
     smr;
+    chunks_live = chunks_live t;
+    committed_bytes = mem_gauge t "mem_committed_bytes";
+    rss_bytes = Oa_runtime.Sysinfo.rss_bytes ();
     validation;
     conservation_ok =
       reclaimed <= retired && smr.I.recycled <= smr.I.retires
@@ -384,8 +423,11 @@ let drain_report t : report =
 let pp_report ppf (r : report) =
   Format.fprintf ppf
     "processed=%d busy=%d errors=%d size=%d retired=%d reclaimed=%d \
-     in-flight=%d conservation=%s"
+     in-flight=%d chunks-live=%d committed=%.1fMiB rss=%.1fMiB \
+     conservation=%s"
     r.processed r.busy r.exec_errors
     (Array.fold_left ( + ) 0 r.sizes)
-    r.retired r.reclaimed (r.retired - r.reclaimed)
+    r.retired r.reclaimed (r.retired - r.reclaimed) r.chunks_live
+    (float_of_int r.committed_bytes /. 1048576.)
+    (float_of_int r.rss_bytes /. 1048576.)
     (if r.conservation_ok then "ok" else "VIOLATED")

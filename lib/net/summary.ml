@@ -19,6 +19,12 @@ type t = {
   busy : int;
   errors : int;
   latency : H.t;  (** nanoseconds, successful responses *)
+  chunks_live : int;
+      (** server arena chunks holding live slots, from the STATS probe;
+          0 when the server predates the field *)
+  rss_bytes : int;
+      (** server resident set, from the STATS probe; 0 when the server
+          predates the field *)
 }
 
 let throughput t = if t.elapsed <= 0.0 then 0.0 else float_of_int t.ops /. t.elapsed
@@ -34,6 +40,11 @@ let to_table t =
         %d responses in %.3fs: %.0f ops/s (ok=%d busy=%d errors=%d)\n"
        t.scheme t.shards t.workers_per_shard t.conns t.pipeline t.batch
        t.server_batch t.ops t.elapsed (throughput t) t.ok t.busy t.errors);
+  if t.rss_bytes > 0 || t.chunks_live > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "server memory: chunks-live=%d rss=%.1f MiB\n"
+         t.chunks_live
+         (float_of_int t.rss_bytes /. 1048576.));
   if H.count t.latency > 0 then begin
     Buffer.add_string buf "latency      usec\n";
     List.iter
@@ -58,11 +69,11 @@ let to_json t =
      \"server_batch\":%d,\
      \"duration_s\":%.3f,\"ops\":%d,\"ok\":%d,\"busy\":%d,\"errors\":%d,\
      \"throughput_ops_per_s\":%.1f,\"latency_ns\":{%s,\"mean\":%.0f,\
-     \"count\":%d}}\n"
+     \"count\":%d},\"mem_chunks_live\":%d,\"mem_rss_bytes\":%d}\n"
     t.scheme t.shards t.workers_per_shard t.conns t.pipeline t.batch
     t.server_batch t.elapsed t.ops t.ok t.busy t.errors (throughput t)
     (String.concat "," (List.map (fun (n, q) -> lat n q) quantiles))
-    (H.mean t.latency) (H.count t.latency)
+    (H.mean t.latency) (H.count t.latency) t.chunks_live t.rss_bytes
 
 let write_json ~path t =
   let oc = open_out path in

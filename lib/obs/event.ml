@@ -19,6 +19,9 @@
     - {!Alloc_stall} — an allocation slow-path round that had to run
       reclamation because both the ready pool and the bump region were
       empty.
+    - {!Mem_grow} / {!Mem_shrink} — an elastic arena mapped one more
+      chunk under allocation pressure / handed a fully-free chunk's pages
+      back to the OS at quiescence (fixed arenas record neither).
 
     The [Oa_net] service layer extends the vocabulary with connection and
     request events so that [--metrics] covers a running server end to end:
@@ -51,6 +54,8 @@ type t =
   | Req_done
   | Req_busy
   | Proto_error
+  | Mem_grow
+  | Mem_shrink
 
 let all =
   [
@@ -68,6 +73,8 @@ let all =
     Req_done;
     Req_busy;
     Proto_error;
+    Mem_grow;
+    Mem_shrink;
   ]
 
 let count = List.length all
@@ -87,6 +94,8 @@ let index = function
   | Req_done -> 11
   | Req_busy -> 12
   | Proto_error -> 13
+  | Mem_grow -> 14
+  | Mem_shrink -> 15
 
 let to_string = function
   | Retire -> "retire"
@@ -103,6 +112,8 @@ let to_string = function
   | Req_done -> "req_done"
   | Req_busy -> "req_busy"
   | Proto_error -> "proto_error"
+  | Mem_grow -> "mem_grow"
+  | Mem_shrink -> "mem_shrink"
 
 let of_string s =
   List.find_opt (fun e -> to_string e = s) all

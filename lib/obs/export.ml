@@ -19,6 +19,10 @@ let to_csv (s : Snapshot.t) =
         (Printf.sprintf "%s,counter,,%d\n" (Event.to_string ev) n))
     (Snapshot.counters s);
   List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "%s,gauge,,%d\n" name v))
+    s.Snapshot.gauges;
+  List.iter
     (fun (name, h) ->
       let add key value =
         Buffer.add_string buf
@@ -71,6 +75,12 @@ let to_json_lines (s : Snapshot.t) =
            (Event.to_string ev) n))
     (Snapshot.counters s);
   List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"metric\":\"%s\",\"kind\":\"gauge\",\"value\":%d}\n"
+           (json_escape name) v))
+    s.Snapshot.gauges;
+  List.iter
     (fun (name, h) ->
       let quants =
         String.concat ","
@@ -114,6 +124,10 @@ let to_table (s : Snapshot.t) =
     (fun (ev, n) ->
       Buffer.add_string buf (Printf.sprintf "%-15s %6d\n" (Event.to_string ev) n))
     (Snapshot.counters s);
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "gauge %-21s %12d\n" name v))
+    s.Snapshot.gauges;
   List.iter
     (fun (name, h) ->
       Buffer.add_string buf

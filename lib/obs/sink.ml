@@ -17,6 +17,7 @@ type state = {
   lock : Mutex.t;
   mutable recorders : Recorder.t list;
   mutable trace_source : (unit -> Snapshot.trace_event list * int) option;
+  mutable gauge_sources : (unit -> (string * int) list) list;
 }
 
 type t = Disabled | Enabled of state
@@ -24,7 +25,13 @@ type t = Disabled | Enabled of state
 let disabled = Disabled
 
 let create () =
-  Enabled { lock = Mutex.create (); recorders = []; trace_source = None }
+  Enabled
+    {
+      lock = Mutex.create ();
+      recorders = [];
+      trace_source = None;
+      gauge_sources = [];
+    }
 
 let is_enabled = function Disabled -> false | Enabled _ -> true
 
@@ -43,6 +50,19 @@ let register = function
     The last attachment wins.  No-op on a disabled sink. *)
 let attach_trace t f =
   match t with Disabled -> () | Enabled s -> s.trace_source <- Some f
+
+(** [attach_gauges t f] registers [f] as a gauge source (an arena's
+    chunk/byte levels, a process RSS probe).  Sources accumulate — one
+    per shard arena is the intended shape — and are polled once per
+    {!snapshot}; same-named gauges from different sources are summed,
+    mirroring counter merging.  No-op on a disabled sink. *)
+let attach_gauges t f =
+  match t with
+  | Disabled -> ()
+  | Enabled s ->
+      Mutex.lock s.lock;
+      s.gauge_sources <- f :: s.gauge_sources;
+      Mutex.unlock s.lock
 
 (** [total t ev] is the current sum of [ev]'s counter over all registered
     recorders — a cheap point probe, no snapshot allocation.  Exact at
@@ -73,6 +93,21 @@ let snapshot = function
         List.fold_left
           (fun acc r -> Snapshot.merge acc (Snapshot.of_recorder r))
           Snapshot.empty recorders
+      in
+      let base =
+        match s.gauge_sources with
+        | [] -> base
+        | sources ->
+            let g =
+              List.fold_left
+                (fun acc f ->
+                  Snapshot.merge_gauges acc
+                    (List.sort
+                       (fun (a, _) (b, _) -> compare a b)
+                       (f ())))
+                [] sources
+            in
+            Snapshot.with_gauges base g
       in
       (match s.trace_source with
       | None -> base

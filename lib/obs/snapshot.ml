@@ -13,18 +13,29 @@ type trace_event = { time : int; tid : int; label : string }
 type t = {
   counts : int array;  (** indexed by {!Event.index} *)
   hists : (string * Histogram.t) list;  (** sorted by name *)
+  gauges : (string * int) list;
+      (** point-in-time levels (chunk counts, byte sizes), sorted by
+          name; {!merge} sums values of equal names, so per-shard gauges
+          aggregate like counters *)
   trace : trace_event list;  (** oldest first *)
   trace_dropped : int;
 }
 
 let empty =
-  { counts = Array.make Event.count 0; hists = []; trace = []; trace_dropped = 0 }
+  {
+    counts = Array.make Event.count 0;
+    hists = [];
+    gauges = [];
+    trace = [];
+    trace_dropped = 0;
+  }
 
 let get t ev = t.counts.(Event.index ev)
 
 let counters t = List.map (fun ev -> (ev, get t ev)) Event.all
 
 let find_hist t name = List.assoc_opt name t.hists
+let find_gauge t name = List.assoc_opt name t.gauges
 
 let of_recorder (r : Recorder.t) =
   {
@@ -33,6 +44,7 @@ let of_recorder (r : Recorder.t) =
       List.sort
         (fun (a, _) (b, _) -> compare a b)
         (List.map (fun (n, h) -> (n, Histogram.copy h)) r.Recorder.hists);
+    gauges = [];
     trace = [];
     trace_dropped = 0;
   }
@@ -46,13 +58,27 @@ let rec merge_hists a b =
       else if na < nb then (na, ha) :: merge_hists ra b
       else (nb, hb) :: merge_hists a rb
 
+(* Same shape for gauges: sorted assoc merge, summing equal names. *)
+let rec merge_gauges a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (na, va) :: ra, (nb, vb) :: rb ->
+      if na = nb then (na, va + vb) :: merge_gauges ra rb
+      else if na < nb then (na, va) :: merge_gauges ra b
+      else (nb, vb) :: merge_gauges a rb
+
 let merge a b =
   {
     counts = Array.init Event.count (fun i -> a.counts.(i) + b.counts.(i));
     hists = merge_hists a.hists b.hists;
+    gauges = merge_gauges a.gauges b.gauges;
     trace = a.trace @ b.trace;
     trace_dropped = a.trace_dropped + b.trace_dropped;
   }
+
+(** [with_gauges t g] attaches [g] (any order; normalized here) to [t]. *)
+let with_gauges t g =
+  { t with gauges = List.sort (fun (a, _) (b, _) -> compare a b) g }
 
 let with_trace t ~events ~dropped = { t with trace = events; trace_dropped = dropped }
 
@@ -62,6 +88,7 @@ let equal a b =
   && List.for_all2
        (fun (na, ha) (nb, hb) -> na = nb && Histogram.equal ha hb)
        a.hists b.hists
+  && a.gauges = b.gauges
   && a.trace = b.trace
   && a.trace_dropped = b.trace_dropped
 
@@ -69,6 +96,9 @@ let pp ppf t =
   List.iter
     (fun (ev, n) -> Format.fprintf ppf "%a=%d@ " Event.pp ev n)
     (counters t);
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%s=%d@ " name v)
+    t.gauges;
   List.iter
     (fun (name, h) -> Format.fprintf ppf "%s: %a@ " name Histogram.pp h)
     t.hists

@@ -35,3 +35,6 @@ external cpu_relax : unit -> unit = "oa_flat_cpu_relax" [@@noalloc]
 
 external fill : buffer -> int -> int -> int -> unit = "oa_flat_fill"
   [@@noalloc]
+
+external decommit : buffer -> int -> int -> unit = "oa_flat_decommit"
+  [@@noalloc]

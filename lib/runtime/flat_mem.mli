@@ -70,3 +70,13 @@ external fill : buffer -> int -> int -> int -> unit = "oa_flat_fill"
 (** [fill b off len v] stores [v] into words [off .. off+len-1] with
     word-granular stores: a racing optimistic reader observes each word
     either old or new, never torn. *)
+
+external decommit : buffer -> int -> int -> unit = "oa_flat_decommit"
+  [@@noalloc]
+(** [decommit b off len] returns the physical pages fully contained in
+    words [off .. off+len-1] to the OS ([madvise(MADV_DONTNEED)]) while
+    keeping the mapping intact: a later access re-faults a zero page, and
+    a stale optimistic reader racing with the decommit reads an old word
+    or a zero — never a fault.  Edge words sharing a page with memory
+    outside the range are untouched; callers wanting the whole span to
+    read 0 must {!fill} it first. *)

@@ -16,9 +16,11 @@
    allocates or raises, so they are declared [@@noalloc]. */
 
 #include <stdatomic.h>
+#include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
 #include <sys/mman.h>
+#include <unistd.h>
 
 #include <caml/alloc.h>
 #include <caml/bigarray.h>
@@ -103,6 +105,40 @@ CAMLprim value oa_flat_cpu_relax(value unit) {
   __asm__ volatile("yield");
 #endif
   return Val_unit;
+}
+
+/* Return the physical pages fully inside words [off, off+len) to the OS
+   while keeping the mapping itself intact.  MADV_DONTNEED on an anonymous
+   private mapping drops the resident pages; a later touch re-faults a zero
+   page.  Crucially the address range stays mapped, so a stale optimistic
+   reader racing with the decommit loads an old word or a zero — never a
+   fault — preserving the paper's Assumption 3.1 (memory is never returned
+   in a way that can make a hazardous read trap).  Partial pages at either
+   edge are left alone; callers zero the whole span with oa_flat_fill
+   first, so the contents contract (all words read as 0 afterwards) holds
+   regardless of page alignment. */
+CAMLprim value oa_flat_decommit(value vba, value voff, value vlen) {
+  char *base = (char *)oa_flat_base(vba);
+  size_t page = (size_t)sysconf(_SC_PAGESIZE);
+  uintptr_t lo = (uintptr_t)(base + (size_t)Long_val(voff) * sizeof(intnat));
+  uintptr_t hi = lo + (size_t)Long_val(vlen) * sizeof(intnat);
+  uintptr_t alo = (lo + page - 1) & ~(uintptr_t)(page - 1);
+  uintptr_t ahi = hi & ~(uintptr_t)(page - 1);
+  if (ahi > alo) madvise((void *)alo, (size_t)(ahi - alo), MADV_DONTNEED);
+  return Val_unit;
+}
+
+/* Host topology / VM facts for benchmark metadata and RSS gauges. */
+CAMLprim value oa_sys_nproc(value unit) {
+  (void)unit;
+  long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return Val_long(n > 0 ? n : 1);
+}
+
+CAMLprim value oa_sys_page_size(value unit) {
+  (void)unit;
+  long p = sysconf(_SC_PAGESIZE);
+  return Val_long(p > 0 ? p : 4096);
 }
 
 /* Bulk fill of [len] words from [off] — the node-zeroing primitive behind

@@ -153,6 +153,27 @@ let make ?(max_threads = 128) ?(arena_words = 1 lsl 27) () :
         if !contiguous then Flat_mem.fill arena c0 n 0
         else Array.iter (fun c -> write c 0) a
       end
+
+    (* Decommit one [node_cells] carve: zero its whole span — padding
+       words between [fields] and the line-rounded stride included — with
+       word-granular stores, then hand the page-aligned interior back to
+       the OS.  Because a carve starts line-aligned and covers
+       [nodes * stride] words, rounding the observed cell span up to a
+       line multiple recovers exactly the carve extent, never a word
+       more. *)
+    let decommit_cells (m : cell array array) =
+      if Array.length m > 0 && Array.length m.(0) > 0 then begin
+        let lo = ref max_int and hi = ref min_int in
+        Array.iter
+          (Array.iter (fun c ->
+               if c < !lo then lo := c;
+               if c > !hi then hi := c))
+          m;
+        let lw = Flat_mem.line_words in
+        let len = (!hi - !lo + 1 + lw - 1) / lw * lw in
+        Flat_mem.fill arena !lo len 0;
+        Flat_mem.decommit arena !lo len
+      end
   end)
 
 let make_boxed ?(max_threads = 128) () : (module Runtime_intf.S) =
@@ -181,4 +202,8 @@ let make_boxed ?(max_threads = 128) () : (module Runtime_intf.S) =
     let cas c e v = Atomic.compare_and_set c e v
     let faa c d = Atomic.fetch_and_add c d
     let zero_cells a = Array.iter (fun c -> Atomic.set c 0) a
+
+    (* GC-managed cells cannot release pages; zeroing keeps the contents
+       contract so elastic arenas behave identically on this substrate. *)
+    let decommit_cells m = Array.iter zero_cells m
   end)

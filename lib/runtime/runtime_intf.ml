@@ -76,6 +76,19 @@ module type S = sig
       paper's Algorithm 5 — with word-granular stores so racing optimistic
       readers never observe a torn word; other backends write each cell. *)
 
+  val decommit_cells : cell array array -> unit
+  (** [decommit_cells m] takes the node-major matrix of one {!node_cells}
+      carve (indexed [field].(node)) whose nodes are all free, zeroes every
+      word of the carve (padding words included) and — where the substrate
+      can — returns the underlying physical pages to the OS.  The flat real
+      backend bulk-fills the span then [madvise(MADV_DONTNEED)]s its
+      page-aligned interior: the mapping stays intact, so a stale
+      optimistic reader racing with the decommit loads an old word or a
+      zero, never faulting (the paper's Assumption 3.1).  The sim and
+      boxed backends just zero each cell.  Afterwards the cells remain
+      valid and read 0; reusing them needs no recommit step (pages
+      re-fault zeroed on the next store). *)
+
   val cpu_relax : unit -> unit
   (** Spin-wait hint for CAS retry backoff ([pause]/[yield]).  A no-op on
       the sim backend: simulated schedules must not depend on real-time

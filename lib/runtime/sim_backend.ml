@@ -31,6 +31,10 @@ let of_sched ?(max_threads = 128) ?trace sched0 : (module Runtime_intf.S) =
     let fence () = Smem.fence mem
     let zero_cells cells = Array.iter (fun c -> Smem.write mem c 0) cells
 
+    (* No pages to release in the model; zeroing preserves the contents
+       contract (and charges the writes, so elastic shrink has a cost). *)
+    let decommit_cells m = Array.iter zero_cells m
+
     (* Deterministic schedules must not depend on wall-clock backoff. *)
     let cpu_relax () = ()
     let rcell v = Smem.rcell mem v

@@ -279,7 +279,10 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     if ctx.n_retired > 0 then begin
       scan ctx;
       scan ctx
-    end
+    end;
+    (* elastic arenas: return pooled free slots to their home chunks so
+       fully-free chunks can shed their pages *)
+    VP.drain_ready ?obs:ctx.o ~arena:ctx.mm.arena ~ready:ctx.mm.ready ()
 
   let refill ctx =
     let mm = ctx.mm in

@@ -217,7 +217,10 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
       let e = R.read ctx.mm.epoch in
       if e <> ctx.local_epoch then ctx.local_epoch <- e;
       free_old_buckets ctx ctx.local_epoch
-    done
+    done;
+    (* elastic arenas: return pooled free slots to their home chunks so
+       fully-free chunks can shed their pages *)
+    VP.drain_ready ?obs:ctx.o ~arena:ctx.mm.arena ~ready:ctx.mm.ready ()
 
   let read_ptr _ ~hp:_ cell = R.read cell
   let read_data _ cell = R.read cell

@@ -261,7 +261,11 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
 
   (* A threshold-independent scan; at quiescence no hazard slot is set, so
      everything this thread has retired is freed. *)
-  let quiesce ctx = if ctx.n_retired > 0 then scan ctx
+  let quiesce ctx =
+    if ctx.n_retired > 0 then scan ctx;
+    (* elastic arenas: return pooled free slots to their home chunks so
+       fully-free chunks can shed their pages *)
+    VP.drain_ready ?obs:ctx.o ~arena:ctx.mm.arena ~ready:ctx.mm.ready ()
 
   let refill ctx =
     let mm = ctx.mm in

@@ -79,23 +79,22 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     end
 
   let refill ctx =
-    let size = ctx.mm.cfg.Oa_core.Smr_intf.chunk_size in
-    let from_bump k =
-      match A.bump_range ctx.mm.arena k with
-      | None -> None
-      | Some first ->
-          let c = VP.make_chunk k in
-          for i = 0 to k - 1 do
-            VP.chunk_push c (first + i)
-          done;
-          Some c
+    let mm = ctx.mm in
+    let size = mm.cfg.Oa_core.Smr_intf.chunk_size in
+    let rec go () =
+      match VP.chunk_take mm.arena size with
+      | Some c -> c
+      | None ->
+          (* nothing is ever reclaimed here, so the only recourse is to
+             map more storage (elastic arenas; a fixed arena is simply
+             undersized for the run) *)
+          if A.grow mm.arena then begin
+            Oa_core.Smr_intf.obs_incr ctx.o Oa_obs.Event.Mem_grow;
+            go ()
+          end
+          else raise Oa_core.Smr_intf.Arena_exhausted
     in
-    match from_bump size with
-    | Some c -> c
-    | None -> (
-        match from_bump 1 with
-        | Some c -> c
-        | None -> raise Oa_core.Smr_intf.Arena_exhausted)
+    go ()
 
   let alloc ctx =
     if VP.chunk_empty ctx.alloc_chunk then ctx.alloc_chunk <- refill ctx;

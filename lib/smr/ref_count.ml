@@ -57,30 +57,64 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
   and t = {
     arena : A.t;
     cfg : I.config;
-    counts : R.cell array;  (* per-node reference counters, own lines *)
-    flags : R.cell array;  (* per-node lifecycle flags *)
+    side : side R.rcell;
+        (* per-node counters and lifecycle flags; swapped wholesale when
+           the tables grow to cover an elastic arena's new chunks *)
     ready : VP.Plain.t;
     registry : ctx list R.rcell;
     obs : Oa_obs.Sink.t;
   }
 
+  and side = {
+    counts : R.cell array;  (* per-node reference counters, own lines *)
+    flags : R.cell array;  (* per-node lifecycle flags *)
+  }
+
   let name = "RC"
+
+  let one_per_node n =
+    let m = R.node_cells ~nodes:n ~fields:1 in
+    m.(0)
 
   let create ?(obs = Oa_obs.Sink.disabled) arena cfg =
     let capacity = A.capacity arena in
-    let one_per_node () =
-      let m = R.node_cells ~nodes:capacity ~fields:1 in
-      m.(0)
-    in
     {
       arena;
       cfg;
-      counts = one_per_node ();
-      flags = one_per_node ();
+      side =
+        R.rcell
+          { counts = one_per_node capacity; flags = one_per_node capacity };
       ready = VP.Plain.create ();
       registry = R.rcell [];
       obs;
     }
+
+  (* The side tables must cover every index the arena can hand out.  An
+     elastic arena grows, so the tables double behind the [side] rcell:
+     [Array.append] copies the existing cell {e handles} into the new
+     snapshot, meaning a counter is the same shared cell through every
+     growth step (type persistence survives table growth exactly as it
+     survives node recycling), and fresh cells start at 0 = count zero,
+     [live] flag — the same initial state the fixed-size tables had.  A
+     lost growth race leaks one carve; growth is rare and monotonic. *)
+  let rec side_for mm idx =
+    let s = R.rread mm.side in
+    let n = Array.length s.counts in
+    if idx < n then s
+    else begin
+      let add = max (idx + 1 - n) n in
+      let grown =
+        {
+          counts = Array.append s.counts (one_per_node add);
+          flags = Array.append s.flags (one_per_node add);
+        }
+      in
+      ignore (R.rcas mm.side s grown);
+      side_for mm idx
+    end
+
+  let count_cell mm idx = (side_for mm idx).counts.(idx)
+  let flag_cell mm idx = (side_for mm idx).flags.(idx)
 
   let set_successor _ _ = ()
 
@@ -138,18 +172,18 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
      arbitrates between racing releasers. *)
   let try_free ctx idx =
     if
-      R.read ctx.mm.flags.(idx) = flag_retired
-      && R.read ctx.mm.counts.(idx) = 0
-      && R.cas ctx.mm.flags.(idx) flag_retired freed
+      R.read (flag_cell ctx.mm idx) = flag_retired
+      && R.read (count_cell ctx.mm idx) = 0
+      && R.cas (flag_cell ctx.mm idx) flag_retired freed
     then push_free ctx idx
 
   let release ctx idx =
     if idx >= 0 then begin
-      let before = R.faa ctx.mm.counts.(idx) (-1) in
+      let before = R.faa (count_cell ctx.mm idx) (-1) in
       if before = 1 then try_free ctx idx
     end
 
-  let acquire ctx idx = ignore (R.faa ctx.mm.counts.(idx) 1)
+  let acquire ctx idx = ignore (R.faa (count_cell ctx.mm idx) 1)
 
   (* The RC read barrier: acquire the target, validate by re-reading the
      source cell, release what this slot held before. *)
@@ -226,13 +260,16 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     ctx.s_retires <- ctx.s_retires + 1;
     I.obs_incr ctx.o Oa_obs.Event.Retire;
     let idx = Ptr.index (Ptr.unmark p) in
-    R.write ctx.mm.flags.(idx) flag_retired;
+    R.write (flag_cell ctx.mm idx) flag_retired;
     R.fence ();
     ctx.s_fences <- ctx.s_fences + 1;
     try_free ctx idx
 
-  (* Reclamation is eager (nodes free at release time), nothing buffers. *)
-  let quiesce _ = ()
+  (* Reclamation is eager (nodes free at release time), nothing buffers
+     scheme-side — but on an elastic arena the shared ready pool is
+     drained back to the chunks so fully-free ones shed their pages. *)
+  let quiesce ctx =
+    VP.drain_ready ?obs:ctx.o ~arena:ctx.mm.arena ~ready:ctx.mm.ready ()
 
   let refill ctx =
     let mm = ctx.mm in
@@ -252,7 +289,7 @@ module Make (Rt : Oa_runtime.Runtime_intf.S) = struct
     A.zero_node ctx.mm.arena p;
     (* the counter is NOT reset: stale acquire/release pairs may still be
        in flight and always cancel out; the flag returns to live *)
-    R.write ctx.mm.flags.(idx) live;
+    R.write (flag_cell ctx.mm idx) live;
     ctx.s_allocs <- ctx.s_allocs + 1;
     p
 

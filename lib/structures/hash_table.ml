@@ -27,9 +27,14 @@ module Make (S : Oa_core.Smr_intf.S) = struct
     let rec pow2 n = if n >= target then n else pow2 (2 * n) in
     pow2 16
 
-  let create ?obs ~capacity ~expected_size cfg =
+  let create ?obs ?(elastic = false) ?chunk_nodes ~capacity ~expected_size cfg =
     let n_buckets = bucket_count ~expected_size in
-    let arena = A.create ~capacity:(capacity + n_buckets) ~n_fields:L.n_fields in
+    let arena =
+      (* fixed arenas reserve bucket-sentinel headroom on top of the node
+         budget; elastic ones size themselves *)
+      if elastic then A.create_elastic ?chunk_nodes ~n_fields:L.n_fields ()
+      else A.create ~capacity:(capacity + n_buckets) ~n_fields:L.n_fields
+    in
     let smr = S.create ?obs arena cfg in
     let list = L.on_arena arena smr in
     (* [on_arena] allocated one sentinel we use as bucket 0. *)
@@ -42,6 +47,7 @@ module Make (S : Oa_core.Smr_intf.S) = struct
   let register t = L.register t.list
   let quiesce (ctx : ctx) = L.quiesce ctx
   let smr t = L.smr t.list
+  let arena t = L.arena t.list
   let n_buckets t = Array.length t.buckets
 
   (* Fibonacci hashing: spreads consecutive keys across buckets. *)

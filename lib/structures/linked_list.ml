@@ -45,8 +45,11 @@ module Make (S : Oa_core.Smr_intf.S) = struct
       arena read, safe even on recycled nodes. *)
   let successor_of arena p = Ptr.unmark (R.read (A.field arena p f_next))
 
-  let create ?obs ~capacity cfg =
-    let arena = A.create ~capacity ~n_fields in
+  let create ?obs ?(elastic = false) ?chunk_nodes ~capacity cfg =
+    let arena =
+      if elastic then A.create_elastic ?chunk_nodes ~n_fields ()
+      else A.create ~capacity ~n_fields
+    in
     let smr = S.create ?obs arena cfg in
     S.set_successor smr (successor_of arena);
     { arena; smr; head = alloc_sentinel arena }

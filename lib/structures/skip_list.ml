@@ -62,8 +62,11 @@ module Make (S : Oa_core.Smr_intf.S) = struct
   let count_cell t p = A.field t.arena p f_count
   let next_cell t p lvl = A.field t.arena p (f_next + lvl)
 
-  let create ?obs ~capacity cfg =
-    let arena = A.create ~capacity ~n_fields in
+  let create ?obs ?(elastic = false) ?chunk_nodes ~capacity cfg =
+    let arena =
+      if elastic then A.create_elastic ?chunk_nodes ~n_fields ()
+      else A.create ~capacity ~n_fields
+    in
     let smr = S.create ?obs arena cfg in
     S.set_successor smr (fun p -> Ptr.unmark (R.read (A.field arena p f_next)));
     let head =

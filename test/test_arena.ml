@@ -98,6 +98,102 @@ let test_invalid_args r () =
   Alcotest.check_raises "zero fields" (Invalid_argument "Arena.create")
     (fun () -> ignore (A.create ~capacity:1 ~n_fields:0))
 
+(* --- the elastic representation --- *)
+
+let test_elastic_grow_past_chunk r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create_elastic ~chunk_nodes:8 ~n_fields:2 () in
+  Alcotest.(check bool) "is elastic" true (A.is_elastic a);
+  Alcotest.(check int) "one chunk mapped" 8 (A.capacity a);
+  let dst = Array.make 8 (-1) in
+  Alcotest.(check int) "first chunk drains" 8 (A.take a ~dst ~max:8);
+  (* chunk exhausted: take reports dry, grow maps another *)
+  Alcotest.(check int) "dry" 0 (A.take a ~dst ~max:1);
+  Alcotest.(check bool) "grow succeeds" true (A.grow a);
+  Alcotest.(check int) "capacity doubled" 16 (A.capacity a);
+  Alcotest.(check int) "fresh slots flow" 1 (A.take a ~dst ~max:1);
+  (* indices keep working across the chunk boundary *)
+  A.write a (Ptr.of_index dst.(0)) 1 77;
+  Alcotest.(check int) "cross-chunk slot usable" 77
+    (A.read a (Ptr.of_index dst.(0)) 1)
+
+let test_elastic_reuse_after_release r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create_elastic ~chunk_nodes:8 ~n_fields:1 () in
+  let dst = Array.make 4 (-1) in
+  Alcotest.(check int) "got 4" 4 (A.take a ~dst ~max:4);
+  let victim = dst.(2) in
+  ignore (A.release a victim);
+  (* recycled slots are preferred over fresh bump space *)
+  let dst' = Array.make 1 (-1) in
+  Alcotest.(check int) "got recycled" 1 (A.take a ~dst:dst' ~max:1);
+  Alcotest.(check int) "same slot came back" victim dst'.(0)
+
+let test_elastic_shrink_then_regrow r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create_elastic ~chunk_nodes:8 ~n_fields:2 () in
+  let dst = Array.make 8 (-1) in
+  Alcotest.(check int) "chunk drained" 8 (A.take a ~dst ~max:8);
+  Array.iter (fun i -> A.write a (Ptr.of_index i) 0 (i + 1)) dst;
+  (* releasing the last outstanding slot decommits the whole chunk *)
+  let decommits = ref 0 in
+  Array.iter (fun i -> if A.release a i then incr decommits) dst;
+  Alcotest.(check int) "exactly one decommit" 1 !decommits;
+  Alcotest.(check int) "no chunk live"
+    0
+    (List.assoc "mem_chunks_live" (A.gauges a));
+  Alcotest.(check int) "still mapped" 1
+    (List.assoc "mem_chunks_mapped" (A.gauges a));
+  (* Assumption 3.1 across shrink: stale reads yield zeros, not faults *)
+  Array.iter
+    (fun i ->
+      Alcotest.(check int) "decommitted slot reads zero" 0
+        (A.read a (Ptr.of_index i) 0))
+    dst;
+  (* regrow: taking from the decommitted chunk re-opens it *)
+  let dst' = Array.make 3 (-1) in
+  Alcotest.(check int) "reopen grants slots" 3 (A.take a ~dst:dst' ~max:3);
+  Alcotest.(check int) "chunk live again" 1
+    (List.assoc "mem_chunks_live" (A.gauges a));
+  Array.iter
+    (fun i ->
+      A.write a (Ptr.of_index i) 1 9;
+      Alcotest.(check int) "reopened slot usable" 9
+        (A.read a (Ptr.of_index i) 1))
+    dst'
+
+let test_elastic_region_spans_chunks r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create_elastic ~chunk_nodes:8 ~n_fields:1 () in
+  (* a sentinel block larger than a chunk: consecutive indices across a
+     dedicated run of chunks *)
+  match A.bump_range a 20 with
+  | None -> Alcotest.fail "multi-chunk region should map"
+  | Some first ->
+      for i = first to first + 19 do
+        A.write a (Ptr.of_index i) 0 (i + 1)
+      done;
+      for i = first to first + 19 do
+        Alcotest.(check int) "region slot holds" (i + 1)
+          (A.read a (Ptr.of_index i) 0)
+      done;
+      Alcotest.(check bool) "table grew to cover the run" true
+        (A.capacity a >= first + 20)
+
+let test_elastic_gauges_track_commit r () =
+  let module R = (val r : Oa_runtime.Runtime_intf.S) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let a = A.create_elastic ~chunk_nodes:8 ~n_fields:1 () in
+  let committed () = List.assoc "mem_committed_bytes" (A.gauges a) in
+  let base = committed () in
+  Alcotest.(check bool) "one chunk committed" true (base > 0);
+  ignore (A.grow a);
+  Alcotest.(check int) "grow doubles the gauge" (2 * base) (committed ())
+
 let test_concurrent_bump_disjoint () =
   (* threads bump-allocating concurrently receive disjoint ranges *)
   let r = Oa_runtime.Sim_backend.make ~max_threads:4 CM.amd_opteron in
@@ -143,6 +239,15 @@ let () =
             both "zero node" test_zero_node;
             both "stale read never faults" test_stale_read_never_faults;
             both "invalid args" test_invalid_args;
+          ] );
+      ( "elastic",
+        List.concat
+          [
+            both "grow past chunk" test_elastic_grow_past_chunk;
+            both "reuse after release" test_elastic_reuse_after_release;
+            both "shrink then regrow" test_elastic_shrink_then_regrow;
+            both "region spans chunks" test_elastic_region_spans_chunks;
+            both "gauges track commit" test_elastic_gauges_track_commit;
           ] );
       ( "concurrent",
         [

@@ -188,6 +188,109 @@ let test_arena_recycling_roundtrip () =
         (A.cas a (p 0) 1 ~expected:0 77);
       Alcotest.(check int) "recycled node usable" 77 (A.read a (p 0) 1)
 
+(* Decommit contract on the raw buffer: the range reads zero afterwards
+   and the pages re-fault writable — no explicit recommit step exists. *)
+let test_decommit_zeroes_and_refaults () =
+  let words = 4 * 4096 / 8 in
+  (* four pages of words *)
+  let b = Fm.alloc ~words in
+  for i = 0 to words - 1 do
+    Fm.store b i (i + 1)
+  done;
+  (* the caller's obligation: fill before decommit (edge words of a
+     non-page-aligned range survive the madvise) *)
+  Fm.fill b 0 words 0;
+  Fm.decommit b 0 words;
+  for i = 0 to words - 1 do
+    if Fm.get b i <> 0 then
+      Alcotest.failf "word %d nonzero after decommit" i
+  done;
+  (* touching decommitted pages works: they re-fault as zero pages *)
+  Fm.store b 17 99;
+  Alcotest.(check int) "re-faulted page writable" 99 (Fm.get b 17);
+  Alcotest.(check bool) "cas on re-faulted page" true (Fm.cas b 100 0 5)
+
+(* Sub-page decommit: words outside the page-aligned interior keep their
+   (caller-zeroed) contents; nothing outside the range is touched. *)
+let test_decommit_partial_range () =
+  let page_words = 4096 / 8 in
+  let b = Fm.alloc ~words:(4 * page_words) in
+  for i = 0 to (4 * page_words) - 1 do
+    Fm.store b i 7
+  done;
+  let lo = page_words / 2 and len = 2 * page_words in
+  Fm.fill b lo len 0;
+  Fm.decommit b lo len;
+  for i = 0 to lo - 1 do
+    if Fm.get b i <> 7 then Alcotest.failf "word %d below range clobbered" i
+  done;
+  for i = lo to lo + len - 1 do
+    if Fm.get b i <> 0 then Alcotest.failf "word %d in range nonzero" i
+  done;
+  for i = lo + len to (4 * page_words) - 1 do
+    if Fm.get b i <> 7 then Alcotest.failf "word %d above range clobbered" i
+  done
+
+(* The elastic arena on the flat backend: allocation runs straight across
+   a chunk boundary and every granted index is distinct and usable. *)
+let test_flat_elastic_chunk_boundary () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let module Ptr = Oa_mem.Ptr in
+  let a = A.create_elastic ~chunk_nodes:8 ~n_fields:2 () in
+  let got = ref [] in
+  let dst = Array.make 4 (-1) in
+  let continue = ref true in
+  while !continue do
+    match A.take a ~dst ~max:4 with
+    | 0 -> if A.grow a then () else continue := false
+    | n ->
+        for i = 0 to n - 1 do
+          got := dst.(i) :: !got
+        done;
+        if List.length !got >= 20 then continue := false
+  done;
+  let got = List.sort compare !got in
+  Alcotest.(check int) "twenty slots granted" 20 (List.length got);
+  Alcotest.(check int)
+    "all distinct" 20
+    (List.length (List.sort_uniq compare got));
+  Alcotest.(check bool) "crossed a chunk boundary" true
+    (List.exists (fun i -> i >= 8) got);
+  List.iter
+    (fun i ->
+      A.write a (Ptr.of_index i) 1 (i * 3);
+      Alcotest.(check int) "slot usable" (i * 3) (A.read a (Ptr.of_index i) 1))
+    got
+
+(* Shrink-then-regrow through the arena on flat storage: after a chunk
+   decommits, its memory really reads zero, and re-opening it hands out
+   writable slots again. *)
+let test_flat_elastic_shrink_regrow () =
+  let r = Rb.make () in
+  let module R = (val r) in
+  let module A = Oa_mem.Arena.Make (R) in
+  let module Ptr = Oa_mem.Ptr in
+  let a = A.create_elastic ~chunk_nodes:8 ~n_fields:2 () in
+  let dst = Array.make 8 (-1) in
+  Alcotest.(check int) "drained" 8 (A.take a ~dst ~max:8);
+  Array.iter (fun i -> A.write a (Ptr.of_index i) 0 0xBEEF) dst;
+  let shrunk = Array.fold_left (fun acc i -> acc || A.release a i) false dst in
+  Alcotest.(check bool) "chunk decommitted" true shrunk;
+  Array.iter
+    (fun i ->
+      Alcotest.(check int) "reads zero after shrink" 0
+        (A.read a (Ptr.of_index i) 0))
+    dst;
+  Alcotest.(check int) "regrown slots flow" 8 (A.take a ~dst ~max:8);
+  Array.iter
+    (fun i ->
+      A.write a (Ptr.of_index i) 0 42;
+      Alcotest.(check int) "regrown slot usable" 42
+        (A.read a (Ptr.of_index i) 0))
+    dst
+
 let () =
   Alcotest.run "flat_mem"
     [
@@ -210,5 +313,16 @@ let () =
           Alcotest.test_case "exhaustion" `Quick test_backend_arena_exhaustion;
           Alcotest.test_case "arena recycling" `Quick
             test_arena_recycling_roundtrip;
+        ] );
+      ( "elastic",
+        [
+          Alcotest.test_case "decommit zeroes and refaults" `Quick
+            test_decommit_zeroes_and_refaults;
+          Alcotest.test_case "decommit partial range" `Quick
+            test_decommit_partial_range;
+          Alcotest.test_case "chunk boundary allocation" `Quick
+            test_flat_elastic_chunk_boundary;
+          Alcotest.test_case "shrink then regrow" `Quick
+            test_flat_elastic_shrink_regrow;
         ] );
     ]

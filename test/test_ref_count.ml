@@ -22,15 +22,15 @@ let test_read_acquires_and_releases () =
   let cell = A.field arena (Ptr.of_index 60) 0 in
   R.write cell n1;
   ignore (S.read_ptr ctx ~hp:0 cell);
-  Alcotest.(check int) "n1 counted" 1 (R.read mm.S.counts.(Ptr.index n1));
+  Alcotest.(check int) "n1 counted" 1 (R.read (S.count_cell mm (Ptr.index n1)));
   (* same slot re-reads the same node without growing the count *)
   ignore (S.read_ptr ctx ~hp:0 cell);
-  Alcotest.(check int) "idempotent hold" 1 (R.read mm.S.counts.(Ptr.index n1));
+  Alcotest.(check int) "idempotent hold" 1 (R.read (S.count_cell mm (Ptr.index n1)));
   (* slot moves to n2: n1 released *)
   R.write cell n2;
   ignore (S.read_ptr ctx ~hp:0 cell);
-  Alcotest.(check int) "n1 released" 0 (R.read mm.S.counts.(Ptr.index n1));
-  Alcotest.(check int) "n2 counted" 1 (R.read mm.S.counts.(Ptr.index n2))
+  Alcotest.(check int) "n1 released" 0 (R.read (S.count_cell mm (Ptr.index n1)));
+  Alcotest.(check int) "n2 counted" 1 (R.read (S.count_cell mm (Ptr.index n2)))
 
 let test_held_node_not_freed () =
   let arena, mm = fresh () in
@@ -64,7 +64,7 @@ let test_no_double_free () =
   R.write c2 n;
   ignore (S.read_ptr ctx ~hp:0 c1);
   ignore (S.read_ptr ctx ~hp:1 c2);
-  Alcotest.(check int) "two holds" 2 (R.read mm.S.counts.(Ptr.index n));
+  Alcotest.(check int) "two holds" 2 (R.read (S.count_cell mm (Ptr.index n)));
   S.retire ctx n;
   R.write c1 Ptr.null;
   ignore (S.read_ptr ctx ~hp:0 c1);
@@ -88,7 +88,7 @@ let test_protect_descs_holds () =
         new_is_ptr = false;
       };
     |];
-  Alcotest.(check int) "desc hold" 1 (R.read mm.S.counts.(Ptr.index n));
+  Alcotest.(check int) "desc hold" 1 (R.read (S.count_cell mm (Ptr.index n)));
   S.retire ctx n;
   Alcotest.(check int) "protected from free" 0 (S.stats mm).I.recycled;
   S.clear_descs ctx;
@@ -104,15 +104,15 @@ let test_stale_pair_cancels () =
   S.retire ctx n;
   Alcotest.(check int) "freed" 1 (S.stats mm).I.recycled;
   (* simulate a stale reader's increment landing after the free *)
-  ignore (R.faa mm.S.counts.(idx) 1);
+  ignore (R.faa (S.count_cell mm idx) 1);
   (* reallocation does not reset the count *)
   let n' = S.alloc ctx in
   Alcotest.(check int) "same slot reused" idx (Ptr.index n');
-  Alcotest.(check int) "transient count visible" 1 (R.read mm.S.counts.(idx));
+  Alcotest.(check int) "transient count visible" 1 (R.read (S.count_cell mm idx));
   (* the stale reader's paired decrement cancels it; node is live so no
      free is attempted *)
-  ignore (R.faa mm.S.counts.(idx) (-1));
-  Alcotest.(check int) "count balanced" 0 (R.read mm.S.counts.(idx));
+  ignore (R.faa (S.count_cell mm idx) (-1));
+  Alcotest.(check int) "count balanced" 0 (R.read (S.count_cell mm idx));
   Alcotest.(check int) "nothing freed by the stale pair" 1
     (S.stats mm).I.recycled
 
@@ -145,7 +145,7 @@ let test_concurrent_counts_consistent () =
       done);
   (* after the run, the count equals the number of slots still holding n:
      at most 2 per thread, and never negative *)
-  let count = R2.read mm.S2.counts.(Ptr.index n) in
+  let count = R2.read (S2.count_cell mm (Ptr.index n)) in
   Alcotest.(check bool) "count sane" true (count >= 0 && count <= 16)
 
 let () =
