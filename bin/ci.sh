@@ -51,6 +51,17 @@ done
 dune exec bin/oa_cli.exe -- check --scheme oa --churn --batch 4 \
   --seeds 25 --quiet
 
+# Crash-at-batch-boundary recovery checker (docs/persistence.md): logged
+# batches against a durable shard must recover from every batch boundary
+# — clean and with an injected torn tail — to exactly the sequential
+# model, with the retire/reclaim conservation oracle intact across the
+# recovery replay.  All three paper schemes.
+echo "== oa_cli check crash-recovery smoke"
+for s in oa hp ebr; do
+  dune exec bin/oa_cli.exe -- check --crash-recovery --scheme "$s" \
+    --seeds 4 --quiet
+done
+
 # Server smoke (docs/server.md): serve the sharded table over loopback,
 # drive it with the closed-loop load generator, then deliver SIGINT and
 # require a graceful drain with a clean conservation verdict (serve exits
@@ -101,6 +112,61 @@ serve_loadgen oa 1 bench_server_oa_b1.json
 serve_loadgen oa 64 bench_server_oa_b64.json
 serve_loadgen hp 1 bench_server_hp_b1.json
 serve_loadgen hp 64 bench_server_hp_b64.json
+
+# Kill-and-restart recovery smoke (docs/persistence.md): run a durable
+# server, drive it with a hot-key ledgered load, SIGKILL it mid-flight
+# (no drain, no final checkpoint — the WAL tail may be torn), restart
+# from the same data dir and verify every key the generator can vouch
+# for, recording the recovery wait and the post-failover read latency.
+# Then start a --follow replica of the restarted primary and verify the
+# same ledger against it once the log stream has converged.
+echo "== kill-and-restart recovery smoke"
+OA_DATA_DIR=$(mktemp -d "${TMPDIR:-/tmp}/oa-ci-data.XXXXXX")
+OA_LEDGER="$OA_DATA_DIR/ledger.txt"
+./_build/default/bin/oa_cli.exe serve --scheme oa --shards 2 --workers 1 \
+  --port "$OA_SMOKE_PORT" --keys 8000 --prefill 0 \
+  --data-dir "$OA_DATA_DIR/primary" --ckpt-every 5000 &
+OA_SERVE_PID=$!
+sleep 1
+./_build/default/bin/oa_cli.exe loadgen --port "$OA_SMOKE_PORT" \
+  --conns 4 --pipeline 32 --duration 3 --mix 40/35/25 --keys 8000 \
+  --hot 400,60 --ledger "$OA_LEDGER" --json -
+kill -KILL "$OA_SERVE_PID"
+wait "$OA_SERVE_PID" 2>/dev/null || true
+OA_SMOKE_PORT=$(( OA_SMOKE_PORT + 1 ))
+./_build/default/bin/oa_cli.exe serve --scheme oa --shards 2 --workers 1 \
+  --port "$OA_SMOKE_PORT" --keys 8000 --prefill 0 \
+  --data-dir "$OA_DATA_DIR/primary" --ckpt-every 5000 &
+OA_SERVE_PID=$!
+./_build/default/bin/oa_cli.exe ledger-verify --port "$OA_SMOKE_PORT" \
+  --ledger "$OA_LEDGER" --timeout 30 --json recovery_primary.json
+echo "== replica convergence smoke"
+OA_REPLICA_PORT=$(( OA_SMOKE_PORT + 1 ))
+./_build/default/bin/oa_cli.exe serve --scheme oa --shards 2 --workers 1 \
+  --port "$OA_REPLICA_PORT" --keys 8000 --prefill 0 \
+  --follow "127.0.0.1:$OA_SMOKE_PORT" &
+OA_REPLICA_PID=$!
+# the follower streams the whole log from seq 0; give it a few attempts
+# to converge before the verify is considered failed
+OA_TRY=0
+until ./_build/default/bin/oa_cli.exe ledger-verify \
+    --port "$OA_REPLICA_PORT" --ledger "$OA_LEDGER" --timeout 30 \
+    --json recovery_replica.json; do
+  OA_TRY=$(( OA_TRY + 1 ))
+  test "$OA_TRY" -lt 10
+  rm -f recovery_replica.json
+  sleep 1
+done
+kill -INT "$OA_REPLICA_PID"
+wait "$OA_REPLICA_PID"
+kill -INT "$OA_SERVE_PID"
+wait "$OA_SERVE_PID"
+rm -rf "$OA_DATA_DIR"
+OA_SMOKE_PORT=$(( OA_SMOKE_PORT + 2 ))
+tail -1 recovery_primary.json > recovery_primary.json.tmp \
+  && mv recovery_primary.json.tmp recovery_primary.json
+tail -1 recovery_replica.json > recovery_replica.json.tmp \
+  && mv recovery_replica.json.tmp recovery_replica.json
 OA_SPEEDUP=$(awk "BEGIN { printf \"%.3f\", \
   $(tput_of bench_server_oa_b64.json) / $(tput_of bench_server_oa_b1.json) }")
 HP_SPEEDUP=$(awk "BEGIN { printf \"%.3f\", \
@@ -113,11 +179,14 @@ HP_SPEEDUP=$(awk "BEGIN { printf \"%.3f\", \
   printf '  %s,\n' "$(cat bench_server_hp_b1.json)"
   printf '  %s\n' "$(cat bench_server_hp_b64.json)"
   printf ' ],\n'
-  printf ' "speedup_at_batch_64":{"OA":%s,"HP":%s}}\n' \
+  printf ' "speedup_at_batch_64":{"OA":%s,"HP":%s},\n' \
     "$OA_SPEEDUP" "$HP_SPEEDUP"
+  printf ' "recovery":%s,\n' "$(cat recovery_primary.json)"
+  printf ' "replica_recovery":%s}\n' "$(cat recovery_replica.json)"
 } > BENCH_server.json
 rm -f bench_server_oa_b1.json bench_server_oa_b64.json \
-  bench_server_hp_b1.json bench_server_hp_b64.json
+  bench_server_hp_b1.json bench_server_hp_b64.json \
+  recovery_primary.json recovery_replica.json
 echo "== BENCH_server.json"
 cat BENCH_server.json
 

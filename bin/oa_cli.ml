@@ -4,7 +4,11 @@
    oa_cli run [options]          run a single custom experiment
    oa_cli check [options]        explore schedules for SMR violations
    oa_cli serve [options]        serve the sharded hash table over TCP
+                                 (--data-dir makes it durable, --follow
+                                 runs it as a read-only replica)
    oa_cli loadgen [options]      drive a server and report latency
+   oa_cli ledger-verify [opts]   check a restarted server against a
+                                 loadgen acked-write ledger
    oa_cli bench-core [options]   flat-vs-boxed real-backend throughput
    oa_cli schemes                list the available SMR schemes *)
 
@@ -439,6 +443,20 @@ let check_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-seed progress.")
   in
+  let crash_recovery =
+    Arg.(
+      value & flag
+      & info [ "crash-recovery" ]
+          ~doc:
+            "Check crash-at-batch-boundary recovery instead of schedules: \
+             run logged batches against a durable shard, snapshot the WAL \
+             directory after every batch, and verify that recovery from \
+             each boundary (clean and with an injected torn tail) replays \
+             to exactly the sequential model with reclamation conservation \
+             intact (docs/persistence.md).  Uses --scheme, --seeds, \
+             --seed0, --batch, --keys and --prefill; the schedule-explorer \
+             flags are ignored.")
+  in
   let print_history history =
     Format.printf "  history:@.";
     List.iter
@@ -454,10 +472,55 @@ let check_cmd =
   in
   let run structure scheme threads ops_per_thread key_range prefill mix theta
       batch arena_slack churn seeds seed0 policy pct_depth faults shrink_budget
-      expect_fail replay quiet =
+      expect_fail replay quiet crash_recovery =
     let finish ~violation =
       exit (if violation <> expect_fail then 1 else 0)
     in
+    if crash_recovery then begin
+      let scheme_id =
+        match scheme with
+        | Sc.Real id -> id
+        | Sc.Broken_hp ->
+            Format.eprintf
+              "oa_cli check: --crash-recovery needs a real scheme@.";
+            exit 2
+      in
+      let d = Oa_check.Crash.default_config in
+      (* the explorer's tiny defaults (keys 1..2, prefill 2) are not
+         interesting recovery states; keep the crash checker's own
+         defaults unless the user asked for something else *)
+      let kr =
+        if key_range = Sc.default.Sc.key_range then
+          d.Oa_check.Crash.key_range
+        else max 2 key_range
+      in
+      let pf =
+        if prefill = Sc.default.Sc.prefill then d.Oa_check.Crash.prefill
+        else prefill
+      in
+      let cfg =
+        {
+          d with
+          Oa_check.Crash.scheme = scheme_id;
+          seeds = min seeds 64;
+          seed0;
+          batch = (if batch > 1 then batch else d.Oa_check.Crash.batch);
+          key_range = kr;
+          prefill = min pf kr;
+        }
+      in
+      Format.printf "crash-recovery %s: %d seeds x %d batches of %d, keys \
+                     1..%d@."
+        (Schemes.id_name scheme_id) cfg.Oa_check.Crash.seeds
+        cfg.Oa_check.Crash.groups cfg.Oa_check.Crash.batch
+        cfg.Oa_check.Crash.key_range;
+      let o = Oa_check.Crash.run cfg in
+      Format.printf "%a@." Oa_check.Crash.pp_outcome o;
+      if not quiet then
+        List.iter (fun f -> Format.printf "  %s@." f)
+          o.Oa_check.Crash.failures;
+      finish ~violation:(o.Oa_check.Crash.failures <> [])
+    end;
     let sc =
       {
         Sc.structure;
@@ -563,7 +626,8 @@ let check_cmd =
     Term.(
       const run $ structure $ scheme $ threads $ ops $ keys $ prefill $ mix
       $ zipf $ batch $ slack $ churn $ seeds $ seed0 $ policy $ pct_depth
-      $ faults $ shrink_budget $ expect_fail $ replay $ quiet)
+      $ faults $ shrink_budget $ expect_fail $ replay $ quiet
+      $ crash_recovery)
 
 (* --- serve --- *)
 
@@ -651,15 +715,65 @@ let serve_cmd =
              queue-depth and SMR events; see docs/observability.md) as \
              line-delimited JSON to $(docv); $(b,-) writes to stdout.")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Make the server durable: per-shard write-ahead logs and \
+             checkpoints under $(docv), group-committed per batch and \
+             replayed on restart (docs/persistence.md).")
+  in
+  let segment_bytes =
+    Arg.(
+      value & opt int d.Sv.segment_bytes
+      & info [ "segment-bytes" ]
+          ~doc:"WAL segment rotation threshold, per shard.")
+  in
+  let ckpt_every =
+    Arg.(
+      value & opt int d.Sv.ckpt_every
+      & info [ "ckpt-every" ]
+          ~doc:
+            "Checkpoint a shard after this many logged records (0 only at \
+             shutdown; mid-run checkpoints need --workers 1).")
+  in
+  let hostport_conv =
+    let parse s =
+      match String.rindex_opt s ':' with
+      | Some i -> (
+          let h = String.sub s 0 i
+          and p = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt p with
+          | Some p when p > 0 && h <> "" -> Ok (h, p)
+          | _ -> Error (`Msg "follow address must be HOST:PORT"))
+      | None -> Error (`Msg "follow address must be HOST:PORT")
+    in
+    Arg.conv
+      (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+  in
+  let follow =
+    Arg.(
+      value
+      & opt (some hostport_conv) None
+      & info [ "follow" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Run as a read-only replica of the primary at $(docv): stream \
+             its WAL records and apply them locally, answering reads; \
+             local mutations are refused.  Implies a volatile service \
+             (--data-dir and --prefill are ignored).")
+  in
   let run scheme shards workers port prefill keys delta chunk queue_capacity
-      batch elastic duration metrics =
+      batch elastic duration metrics data_dir segment_bytes ckpt_every follow =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let following = follow <> None in
     let cfg =
       {
         Sv.scheme;
         shards;
         workers_per_shard = workers;
-        prefill;
+        prefill = (if following then 0 else prefill);
         key_range = keys;
         delta;
         chunk_size = chunk;
@@ -667,13 +781,34 @@ let serve_cmd =
         dequeue_batch = batch;
         seed = 1;
         elastic;
+        data_dir = (if following then None else data_dir);
+        segment_bytes;
+        ckpt_every;
       }
     in
     let service = Sv.create cfg in
     Sv.start service;
-    let server = Srv.create ~port ~service () in
+    let repl =
+      match follow with
+      | None -> None
+      | Some (fhost, fport) ->
+          Some
+            (Oa_net.Repl.start ~service
+               { Oa_net.Repl.default_config with host = fhost; port = fport })
+    in
+    let server = Srv.create ~read_only:following ~port ~service () in
     Printf.printf "serving %s x %d shards on 127.0.0.1:%d (prefill=%d)\n%!"
       (Schemes.id_name scheme) shards (Srv.port server) prefill;
+    if Sv.persistent service then
+      Printf.printf "durable in %s: recovered %d wal records + %d checkpoint \
+                     keys\n%!"
+        (Option.get data_dir)
+        (Sv.recovered_records service)
+        (Sv.recovered_ckpt_keys service);
+    (match follow with
+    | Some (fhost, fport) ->
+        Printf.printf "replica of %s:%d (read-only)\n%!" fhost fport
+    | None -> ());
     (* Signal handlers only flip a flag; a watcher domain turns the flag —
        or the --duration deadline — into the actual graceful shutdown, so
        no locking happens in async-signal context. *)
@@ -707,6 +842,16 @@ let serve_cmd =
     Srv.serve server;
     Atomic.set stop_requested true;
     Domain.join watcher;
+    (* Stop the follower before draining the service so no more replicated
+       batches are submitted into a stopping service. *)
+    (match repl with
+    | None -> ()
+    | Some r ->
+        Oa_net.Repl.stop r;
+        Printf.printf "replica applied %d records (+%d snapshot keys) over \
+                       %d fetch rounds\n%!"
+          (Oa_net.Repl.applied_records r)
+          (Oa_net.Repl.snap_keys r) (Oa_net.Repl.rounds r));
     let report = Sv.drain_report service in
     Format.printf "%a@." Sv.pp_report report;
     (match metrics with
@@ -735,7 +880,8 @@ let serve_cmd =
           requests, runs a final reclamation pass and reports conservation.")
     Term.(
       const run $ scheme $ shards $ workers $ port $ prefill $ keys $ delta
-      $ chunk $ queue_capacity $ batch $ elastic $ duration $ metrics)
+      $ chunk $ queue_capacity $ batch $ elastic $ duration $ metrics
+      $ data_dir $ segment_bytes $ ckpt_every $ follow)
 
 (* --- loadgen --- *)
 
@@ -785,14 +931,65 @@ let loadgen_cmd =
       & info [ "keys"; "k" ] ~doc:"Keys are drawn uniformly from 1..KEYS.")
   in
   let seed = Arg.(value & opt int d.Lg.seed & info [ "seed" ] ~doc:"Seed.") in
+  let zipf =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:
+            "Draw keys Zipfian with skew $(docv) in (0,1) instead of \
+             uniformly.")
+  in
+  let hot =
+    let hot_conv =
+      let parse s =
+        match String.split_on_char ',' s with
+        | [ h; p ] -> (
+            match (int_of_string_opt h, int_of_string_opt p) with
+            | Some h, Some p when h > 0 && p >= 0 && p <= 100 -> Ok (h, p)
+            | _ -> Error (`Msg "hot must be like 100,90 (hot-set,percent)")
+            )
+        | _ -> Error (`Msg "hot must be like 100,90 (hot-set,percent)")
+      in
+      Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%d,%d" h p)
+    in
+    Arg.(
+      value
+      & opt (some hot_conv) None
+      & info [ "hot" ] ~docv:"H,PCT"
+          ~doc:
+            "Hot-key skew: $(i,PCT)% of draws land uniformly in 1..$(i,H), \
+             the rest in the full range (overridden by --zipf).")
+  in
+  let ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Write an acked-write ledger to $(docv): per-connection \
+             disjoint key subranges, one 'key 0|1' line per key whose \
+             final durable presence the run can vouch for (unacked \
+             in-flight mutations are excluded).  Verify a restarted \
+             server against it with $(b,oa_cli ledger-verify).")
+  in
   let json =
     Arg.(
       value & opt string "BENCH_server.json"
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Machine-readable result; $(b,-) suppresses the file.")
   in
-  let run host port conns pipeline batch duration mix keys seed json =
+  let run host port conns pipeline batch duration mix keys seed zipf hot
+      ledger json =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let key_dist =
+      match (zipf, hot) with
+      | Some theta, _ -> Oa_workload.Key_dist.zipf ~range:keys ~theta
+      | None, Some (h, pct) ->
+          Oa_workload.Key_dist.hot ~range:keys ~hot:(min h keys)
+            ~hot_pct:pct
+      | None, None -> Oa_workload.Key_dist.uniform ~range:keys
+    in
     let cfg =
       {
         Lg.host;
@@ -802,8 +999,9 @@ let loadgen_cmd =
         batch;
         duration;
         mix;
-        key_dist = Oa_workload.Key_dist.uniform ~range:keys;
+        key_dist;
         seed;
+        ledger;
       }
     in
     match Lg.run cfg with
@@ -829,7 +1027,158 @@ let loadgen_cmd =
           p50/p90/p99, JSON summary.")
     Term.(
       const run $ host $ port $ conns $ pipeline $ batch $ duration $ mix
-      $ keys $ seed $ json)
+      $ keys $ seed $ zipf $ hot $ ledger $ json)
+
+(* --- ledger-verify --- *)
+
+(* Compare a (re)started server against a loadgen acked-write ledger: wait
+   for the server to answer PING (the wait is the measured recovery time,
+   including WAL replay), then GET every ledger key and check presence.
+   The CI kill-and-restart smoke is built on this (docs/persistence.md). *)
+let ledger_verify_cmd =
+  let module P = Oa_net.Protocol in
+  let module C = Oa_net.Client in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int 7440 & info [ "port" ] ~doc:"Server port.")
+  in
+  let ledger =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Ledger written by $(b,oa_cli loadgen --ledger).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up waiting for the server after $(docv).")
+  in
+  let json =
+    Arg.(
+      value & opt string "-"
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Append a JSON summary line to $(docv); $(b,-) suppresses it.")
+  in
+  let run host port ledger timeout json =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* ledger lines: "<key> <0|1>" *)
+    let expected =
+      let ic = open_in ledger in
+      let acc = ref [] in
+      (try
+         while true do
+           match String.split_on_char ' ' (input_line ic) with
+           | [ k; p ] -> (
+               match (int_of_string_opt k, int_of_string_opt p) with
+               | Some k, Some p -> acc := (k, p = 1) :: !acc
+               | _ -> ())
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !acc
+    in
+    (* Poll until the server answers PING; elapsed time is the recovery
+       wait (process start + WAL replay + checkpoint load). *)
+    let t0 = Oa_runtime.Clock.now_ns () in
+    let deadline = t0 + int_of_float (timeout *. 1e9) in
+    let rec await_up () =
+      let attempt () =
+        match C.connect ~host ~port () with
+        | exception Unix.Unix_error _ -> None
+        | client -> (
+            match C.call_one client { P.id = 0; op = P.Ping } with
+            | Ok { P.body = P.Pong; _ } -> Some client
+            | _ ->
+                C.close client;
+                None)
+      in
+      match attempt () with
+      | Some client -> Some client
+      | None ->
+          if Oa_runtime.Clock.now_ns () >= deadline then None
+          else begin
+            Unix.sleepf 0.02;
+            await_up ()
+          end
+    in
+    match await_up () with
+    | None ->
+        Printf.eprintf "oa_cli ledger-verify: server at %s:%d not up within \
+                        %.1fs\n"
+          host port timeout;
+        exit 1
+    | Some client ->
+        let recovery_wait_s =
+          float_of_int (Oa_runtime.Clock.now_ns () - t0) /. 1e9
+        in
+        (* GET each ledger key, timing every round-trip for the
+           post-recovery latency profile. *)
+        let lat = Oa_obs.Histogram.create () in
+        let mismatches = ref [] in
+        let checked = ref 0 in
+        List.iter
+          (fun (key, want) ->
+            let s = Oa_runtime.Clock.now_ns () in
+            match C.call_one client { P.id = key; op = P.Get key } with
+            | Ok { P.body = P.Bool got; _ } ->
+                Oa_obs.Histogram.observe lat
+                  (max 0 (Oa_runtime.Clock.now_ns () - s));
+                incr checked;
+                if got <> want then mismatches := (key, want, got) :: !mismatches
+            | Ok { P.body = b; _ } ->
+                mismatches := (key, want, not want) :: !mismatches;
+                Printf.eprintf "key %d: unexpected %s\n" key
+                  (P.body_to_string b)
+            | Error e ->
+                mismatches := (key, want, not want) :: !mismatches;
+                Printf.eprintf "key %d: %s\n" key e)
+          expected;
+        C.close client;
+        let p99 = Oa_obs.Histogram.quantile 0.99 lat in
+        let n_bad = List.length !mismatches in
+        Printf.printf
+          "ledger-verify: %d/%d keys match (recovery wait %.3fs, read p99 \
+           %.0f ns)\n"
+          (!checked - n_bad) (List.length expected) recovery_wait_s p99;
+        List.iteri
+          (fun i (k, want, got) ->
+            if i < 10 then
+              Printf.printf "  MISMATCH key %d: ledger says %s, server says \
+                             %s\n"
+                k
+                (if want then "present" else "absent")
+                (if got then "present" else "absent"))
+          (List.rev !mismatches);
+        if n_bad > 10 then Printf.printf "  ... and %d more\n" (n_bad - 10);
+        if json <> "-" then begin
+          let oc =
+            open_out_gen [ Open_append; Open_creat ] 0o644 json
+          in
+          Printf.fprintf oc
+            "{\"bench\": \"recovery\", \"keys\": %d, \"mismatches\": %d, \
+             \"recovery_wait_s\": %.6f, \"read_p50_ns\": %.0f, \
+             \"read_p99_ns\": %.0f}\n"
+            (List.length expected) n_bad recovery_wait_s
+            (Oa_obs.Histogram.quantile 0.5 lat)
+            p99;
+          close_out oc;
+          Printf.printf "appended to %s\n" json
+        end;
+        if n_bad > 0 || !checked = 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "ledger-verify"
+       ~doc:
+         "Verify a (re)started durable server against a loadgen acked-write \
+          ledger: wait for it to come up (measuring recovery time), GET \
+          every ledger key, fail on any divergence.")
+    Term.(const run $ host $ port $ ledger $ timeout $ json)
 
 (* --- bench-core --- *)
 
@@ -1278,6 +1627,7 @@ let () =
             check_cmd;
             serve_cmd;
             loadgen_cmd;
+            ledger_verify_cmd;
             bench_core_cmd;
             schemes_cmd;
           ]))

@@ -30,6 +30,18 @@ type config = {
   mix : Oa_workload.Op_mix.t;
   key_dist : Oa_workload.Key_dist.t;
   seed : int;
+  ledger : string option;
+      (** write an acked-write ledger to this file: one ["key 0|1"] line
+          per key whose final durable presence the generator can vouch
+          for.  The recovery smoke compares a restarted server against
+          it (docs/persistence.md).  Ledger mode partitions the key range
+          into per-connection subranges, so each connection is the sole
+          writer of its keys and its per-key last-acked state is exact:
+          the server preserves order within a connection, so the acked
+          responses applied in arrival order give the true final state,
+          and the unacked in-flight suffix is {e tainted} (excluded) —
+          an unacked write may or may not have become durable, so the
+          ledger claims nothing about those keys. *)
 }
 
 let default_config =
@@ -43,6 +55,7 @@ let default_config =
     mix = Oa_workload.Op_mix.read_mostly;
     key_dist = Oa_workload.Key_dist.uniform ~range:8_000;
     seed = 42;
+    ledger = None;
   }
 
 type conn_result = {
@@ -59,18 +72,49 @@ let empty_result () =
   { ops = 0; ok = 0; busy = 0; errors = 0; latency = H.create () }
 
 (* One connection's closed loop.  Socket or decode failures end the loop
-   early and surface as [errors]; partial counts are still reported. *)
+   early and surface as [errors]; partial counts are still reported.
+   Returns the counters plus the connection's ledger state (empty tables
+   outside ledger mode): per-key last-acked presence and the tainted
+   keys — mutations that errored or were still unacked when the loop
+   ended. *)
 let run_conn cfg ~index =
   let rng = Oa_util.Splitmix.create (cfg.seed + (index * 7_919)) in
-  let sent = Hashtbl.create (2 * cfg.pipeline) in
+  let sent : (int, int * Protocol.op) Hashtbl.t =
+    Hashtbl.create (2 * cfg.pipeline)
+  in
   let next_id = ref (index * 1_000_000_000) in
   let acc = ref (empty_result ()) in
+  let last : (int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let taint : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let taint_pending () =
+    if cfg.ledger <> None then
+      Hashtbl.iter
+        (fun _ (_, op) ->
+          match op with
+          | Protocol.Insert k | Protocol.Delete k -> Hashtbl.replace taint k ()
+          | _ -> ())
+        sent
+  in
   let deadline = Clock.now_ns () + int_of_float (cfg.duration *. 1e9) in
+  (* Ledger mode: remap draws into this connection's private subrange so
+     no other connection races on our keys. *)
+  let sub_width, sub_off =
+    match cfg.ledger with
+    | None -> (0, 0)
+    | Some _ ->
+        let range = Oa_workload.Key_dist.range cfg.key_dist in
+        let w = max 1 (range / max 1 cfg.conns) in
+        (w, index * w)
+  in
   match Client.connect ~host:cfg.host ~port:cfg.port () with
-  | exception Unix.Unix_error _ -> { !acc with errors = !acc.errors + 1 }
+  | exception Unix.Unix_error _ ->
+      ({ !acc with errors = !acc.errors + 1 }, (last, taint))
   | client ->
       let make_req () =
-        let key = Oa_workload.Key_dist.draw cfg.key_dist rng in
+        let key =
+          let k = Oa_workload.Key_dist.draw cfg.key_dist rng in
+          if sub_width = 0 then k else sub_off + 1 + ((k - 1) mod sub_width)
+        in
         let op =
           match Oa_workload.Op_mix.draw cfg.mix rng with
           | Oa_workload.Op_mix.Contains -> Protocol.Get key
@@ -80,21 +124,40 @@ let run_conn cfg ~index =
         incr next_id;
         { Protocol.id = !next_id; op }
       in
+      (* The ledger update for one acked response.  An acked INSERT means
+         "present" and an acked DELETE "absent" regardless of the boolean
+         (false = was already in that state); a BUSY was not executed, so
+         the previous entry stands; an ERROR on a mutation leaves the
+         key's state unknowable — taint it. *)
+      let note_ack op body =
+        if cfg.ledger <> None then
+          match (op, body) with
+          | Some (Protocol.Get k), Protocol.Bool b -> Hashtbl.replace last k b
+          | Some (Protocol.Insert k), Protocol.Bool _ ->
+              Hashtbl.replace last k true
+          | Some (Protocol.Delete k), Protocol.Bool _ ->
+              Hashtbl.replace last k false
+          | Some (Protocol.Insert k | Protocol.Delete k), Protocol.Error_r _ ->
+              Hashtbl.replace taint k ()
+          | _ -> ()
+      in
       let record (r : Protocol.response) arrival =
         let a = !acc in
-        let lat =
+        let lat, op =
           match Hashtbl.find_opt sent r.Protocol.rid with
-          | None -> None
-          | Some t0 ->
+          | None -> (None, None)
+          | Some (t0, op) ->
               Hashtbl.remove sent r.Protocol.rid;
-              Some (max 0 (arrival - t0))
+              (Some (max 0 (arrival - t0)), Some op)
         in
+        note_ack op r.Protocol.body;
         (match r.Protocol.body with
         | Protocol.Bool _ ->
             Option.iter (H.observe a.latency) lat;
             acc := { a with ops = a.ops + 1; ok = a.ok + 1 }
         | Protocol.Busy -> acc := { a with ops = a.ops + 1; busy = a.busy + 1 }
-        | Protocol.Pong | Protocol.Stats_r _ ->
+        | Protocol.Pong | Protocol.Stats_r _ | Protocol.Records_r _
+        | Protocol.Snap_needed_r _ | Protocol.Snap_chunk_r _ ->
             acc := { a with ops = a.ops + 1 }
         | Protocol.Error_r _ ->
             acc := { a with ops = a.ops + 1; errors = a.errors + 1 })
@@ -104,7 +167,8 @@ let run_conn cfg ~index =
            let reqs = List.init cfg.pipeline (fun _ -> make_req ()) in
            let t0 = Clock.now_ns () in
            List.iter
-             (fun (r : Protocol.request) -> Hashtbl.replace sent r.id t0)
+             (fun (r : Protocol.request) ->
+               Hashtbl.replace sent r.id (t0, r.op))
              reqs;
            (* Send in groups of [batch] so the server's dequeue — and so
               its batched execution path — sees groups of about that
@@ -141,7 +205,11 @@ let run_conn cfg ~index =
       | Exit -> ()
       | Unix.Unix_error _ -> acc := { !acc with errors = !acc.errors + 1 });
       Client.close client;
-      !acc
+      (* Whatever is still in [sent] was never acked: by per-connection
+         FIFO it is exactly the trailing suffix, and its mutations may or
+         may not have landed — taint them. *)
+      taint_pending ();
+      (!acc, (last, taint))
 
 (* Ask the server who it is; [None] if unreachable. *)
 let probe cfg =
@@ -169,8 +237,25 @@ let run cfg =
         List.init cfg.conns (fun i ->
             Domain.spawn (fun () -> run_conn cfg ~index:i))
       in
-      let results = List.map Domain.join domains in
+      let pairs = List.map Domain.join domains in
+      let results = List.map fst pairs in
       let elapsed = Clock.elapsed_s ~since:t0 in
+      (* Ledger mode: merge the per-connection tables (disjoint subranges,
+         so a plain concatenation) into ["key present"] lines, dropping
+         tainted keys. *)
+      (match cfg.ledger with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          List.iter
+            (fun (_, (last, taint)) ->
+              Hashtbl.iter
+                (fun k present ->
+                  if not (Hashtbl.mem taint k) then
+                    Printf.fprintf oc "%d %d\n" k (if present then 1 else 0))
+                last)
+            pairs;
+          close_out oc);
       (* Re-probe after the run so the memory gauges describe the server
          at end of load rather than before it; fall back to the opening
          probe if the server is already gone. *)

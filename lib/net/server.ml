@@ -22,13 +22,18 @@ type t = {
   listen_fd : Unix.file_descr;
   port : int;
   max_pipeline : int;
+  read_only : bool;
+      (** reject INSERT/DELETE with ERROR — the replica's guard: its
+          contents are owned by the log stream from the primary, and a
+          local mutation would silently diverge from it *)
   stopping : bool Atomic.t;
   conns_m : Mutex.t;
   mutable conns : (Unix.file_descr * unit Domain.t) list;
   obs : Oa_obs.Recorder.t option;
 }
 
-let create ?(port = 0) ?(backlog = 64) ?(max_pipeline = 256) ~service () =
+let create ?(port = 0) ?(backlog = 64) ?(max_pipeline = 256)
+    ?(read_only = false) ~service () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   (try
@@ -47,6 +52,7 @@ let create ?(port = 0) ?(backlog = 64) ?(max_pipeline = 256) ~service () =
     listen_fd = fd;
     port;
     max_pipeline;
+    read_only;
     stopping = Atomic.make false;
     conns_m = Mutex.create ();
     conns = [];
@@ -78,11 +84,32 @@ let classify t batch (req : Protocol.request) =
   in
   match req.Protocol.op with
   | Protocol.Get k -> submit Service.Get k
+  | Protocol.Insert k | Protocol.Delete k when t.read_only ->
+      ignore k;
+      Immediate (Protocol.Error_r "read-only replica")
   | Protocol.Insert k -> submit Service.Insert k
   | Protocol.Delete k -> submit Service.Delete k
   | Protocol.Stats ->
       Immediate (Protocol.Stats_r (Service.stats_payload t.service))
   | Protocol.Ping -> Immediate Protocol.Pong
+  | Protocol.Fetch { shard; from } -> (
+      match
+        Service.repl_fetch t.service ~shard ~from
+          ~max:Protocol.max_fetch_records
+      with
+      | None -> Immediate (Protocol.Error_r "fetch: no such shard or volatile")
+      | Some (Service.Repl_records (rs, last)) ->
+          Immediate
+            (Protocol.Records_r { last; records = Array.of_list rs })
+      | Some (Service.Repl_snapshot (ckpt_seq, total)) ->
+          Immediate (Protocol.Snap_needed_r { ckpt_seq; total }))
+  | Protocol.Snap { shard; offset } -> (
+      match
+        Service.snap_fetch t.service ~shard ~offset ~max:Protocol.max_snap_keys
+      with
+      | None -> Immediate (Protocol.Error_r "snap: no such shard or volatile")
+      | Some (ckpt_seq, total, keys) ->
+          Immediate (Protocol.Snap_chunk_r { ckpt_seq; total; offset; keys }))
 
 let handle_conn t conn =
   let o = Oa_obs.Sink.register (Service.sink t.service) in

@@ -49,6 +49,17 @@ type config = {
   elastic : bool;
       (** back each shard with the elastic chunked arena ({!Oa_alloc}):
           no fixed capacity, fully-free chunks returned to the OS *)
+  data_dir : string option;
+      (** root of the durability subsystem (docs/persistence.md): each
+          shard keeps a write-ahead log and checkpoint under
+          [<data-dir>/shard-<i>/]; effective mutations are logged and
+          group-commit-fsynced {e before} their rendezvous completes, so
+          an acked write survives a crash.  [None] = volatile service. *)
+  segment_bytes : int;  (** WAL segment rotation threshold *)
+  ckpt_every : int;
+      (** records between mid-run checkpoints (single-worker shards
+          only); [<= 0] disables mid-run checkpoints — one is still
+          written at {!stop} *)
 }
 
 let default_config =
@@ -64,6 +75,9 @@ let default_config =
     dequeue_batch = 64;
     seed = 1;
     elastic = false;
+    data_dir = None;
+    segment_bytes = 1 lsl 20;
+    ckpt_every = 50_000;
   }
 
 (* Per-worker operation bundle; built on the worker's own domain.
@@ -75,7 +89,10 @@ let default_config =
    pay a tuple and a record per request either. *)
 type worker_ops = {
   exec : op_kind -> int -> bool;
-  exec_batch : op_kind array -> int array -> bool array;
+  exec_batch : n:int -> op_kind array -> int array -> bool array -> unit;
+      (** execute the first [n] entries of the parallel arrays through
+          the batched path, filling results in place — the arrays are
+          the worker's preallocated buffers, reused across rendezvous *)
   quiesce : unit -> unit;
 }
 
@@ -85,11 +102,14 @@ type shard = {
   queue : item Shard_queue.t;
   register : unit -> worker_ops;
   size : unit -> int;  (** quiescent only *)
+  contents : unit -> int array;  (** full key set; quiescent only *)
   validate : unit -> (unit, string) result;  (** quiescent only *)
   smr_stats : unit -> I.stats;
   mem_gauges : unit -> (string * int) list;
       (** the shard arena's memory gauges (chunks live/mapped, committed
           bytes); cheap atomic reads, safe mid-run *)
+  persist : Oa_store.Shard_store.t option;
+      (** the shard's WAL + checkpoint bundle when [data_dir] is set *)
 }
 
 type t = {
@@ -99,6 +119,12 @@ type t = {
   processed : int Atomic.t;
   busy : int Atomic.t;
   exec_errors : int Atomic.t;
+  wal_records : int Atomic.t;
+  wal_fsyncs : int Atomic.t;
+  ckpts : int Atomic.t;
+  recovered_records : int;  (** WAL records replayed at startup *)
+  recovered_ckpt_keys : int;  (** checkpoint keys loaded at startup *)
+  mutable replica : bool;  (** serving as a read-only follower *)
   mutable workers : unit Domain.t array;
   mutable stopped : bool;
 }
@@ -110,7 +136,11 @@ let shard_index ~shards key = ((key * 0x2545F4914F6CDD1D) lsr 33) mod shards
 
 let shard_of t key = t.shards.(shard_index ~shards:t.cfg.shards key)
 
-let make_shard ~obs ~(cfg : config) : shard =
+(* Returns the shard plus (records replayed, checkpoint keys loaded) —
+   both 0 for a volatile or fresh-directory shard; [create] uses the
+   totals to decide whether the directory already holds state (in which
+   case prefill is skipped: recovery owns the contents). *)
+let make_shard ~obs ~index ~(cfg : config) : shard * (int * int) =
   let module R = (val Oa_runtime.Real_backend.make ()) in
   let module Sch = Schemes.Make (R) in
   let module S = (val Sch.pack cfg.scheme) in
@@ -133,57 +163,134 @@ let make_shard ~obs ~(cfg : config) : shard =
   (* The shard arena feeds the sink's gauge pool: same-named gauges from
      all shards are summed into one service-wide view per snapshot. *)
   Oa_obs.Sink.attach_gauges obs (fun () -> H.A.gauges (H.arena tbl));
-  {
-    queue = Shard_queue.create ~capacity:cfg.queue_capacity;
-    register =
-      (fun () ->
+  (* Recovery, before any worker exists: load the checkpoint's key set,
+     then replay the retained WAL records — both through the structure's
+     batched path, from the main domain's registration (the same pattern
+     prefill uses). *)
+  let persist, recovered =
+    match cfg.data_dir with
+    | None -> (None, (0, 0))
+    | Some data_dir ->
         let ctx = H.register tbl in
-        {
-          exec =
-            (fun kind key ->
-              match kind with
-              | Get -> H.contains tbl ctx key
-              | Insert -> H.insert tbl ctx key
-              | Delete -> H.delete tbl ctx key);
-          exec_batch =
-            (fun kinds keys ->
-              let results = Array.make (Array.length keys) false in
-              H.run_batch_keyed tbl ctx ~keys (fun i ->
-                  results.(i) <-
-                    (match kinds.(i) with
-                    | Get -> H.contains tbl ctx keys.(i)
-                    | Insert -> H.insert tbl ctx keys.(i)
-                    | Delete -> H.delete tbl ctx keys.(i)));
-              results);
-          quiesce = (fun () -> H.quiesce ctx);
-        });
-    size = (fun () -> List.length (H.to_list tbl));
-    validate = (fun () -> H.validate tbl ~limit:(10 * capacity));
-    smr_stats = (fun () -> S.stats (H.smr tbl));
-    mem_gauges = (fun () -> H.A.gauges (H.arena tbl));
-  }
+        let cap = 512 in
+        let rkeys = Array.make cap 0 in
+        let rins = Array.make cap true in
+        let n = ref 0 in
+        let flush () =
+          if !n > 0 then begin
+            let keys = Array.sub rkeys 0 !n in
+            H.run_batch_keyed tbl ctx ~keys (fun i ->
+                if rins.(i) then ignore (H.insert tbl ctx keys.(i))
+                else ignore (H.delete tbl ctx keys.(i)));
+            n := 0
+          end
+        in
+        let push is_insert k =
+          rkeys.(!n) <- k;
+          rins.(!n) <- is_insert;
+          incr n;
+          if !n = cap then flush ()
+        in
+        let store, summary =
+          Oa_store.Shard_store.open_shard ~data_dir ~index
+            ~segment_bytes:cfg.segment_bytes ~ckpt_every:cfg.ckpt_every
+            ~on_snapshot:(fun keys -> Array.iter (fun k -> push true k) keys)
+            ~on_record:(fun r ->
+              push (r.Oa_store.Record.op = Oa_store.Record.Insert)
+                r.Oa_store.Record.key)
+        in
+        flush ();
+        (match Oa_obs.Sink.register obs with
+        | None -> ()
+        | Some r ->
+            Oa_obs.Recorder.add r Oa_obs.Event.Replay
+              summary.Oa_store.Recovery.replayed);
+        ( Some store,
+          (summary.Oa_store.Recovery.replayed,
+           summary.Oa_store.Recovery.ckpt_keys) )
+  in
+  ( {
+      queue = Shard_queue.create ~capacity:cfg.queue_capacity;
+      register =
+        (fun () ->
+          let ctx = H.register tbl in
+          let scratch = Array.make (max 1 cfg.dequeue_batch) 0 in
+          {
+            exec =
+              (fun kind key ->
+                match kind with
+                | Get -> H.contains tbl ctx key
+                | Insert -> H.insert tbl ctx key
+                | Delete -> H.delete tbl ctx key);
+            exec_batch =
+              (fun ~n kinds keys results ->
+                H.run_batch_keyed tbl ctx ~n ~scratch ~keys (fun i ->
+                    results.(i) <-
+                      (match kinds.(i) with
+                      | Get -> H.contains tbl ctx keys.(i)
+                      | Insert -> H.insert tbl ctx keys.(i)
+                      | Delete -> H.delete tbl ctx keys.(i))));
+            quiesce = (fun () -> H.quiesce ctx);
+          });
+      size = (fun () -> List.length (H.to_list tbl));
+      contents = (fun () -> Array.of_list (H.to_list tbl));
+      validate = (fun () -> H.validate tbl ~limit:(10 * capacity));
+      smr_stats = (fun () -> S.stats (H.smr tbl));
+      mem_gauges = (fun () -> H.A.gauges (H.arena tbl));
+      persist;
+    },
+    recovered )
 
 let create ?(obs = Oa_obs.Sink.create ()) (cfg : config) : t =
   if cfg.shards <= 0 then invalid_arg "Service.create: shards must be positive";
   if cfg.workers_per_shard <= 0 then
     invalid_arg "Service.create: workers_per_shard must be positive";
-  let shards = Array.init cfg.shards (fun _ -> make_shard ~obs ~cfg) in
+  let pairs = Array.init cfg.shards (fun index -> make_shard ~obs ~index ~cfg) in
+  let shards = Array.map fst pairs in
+  let recovered_records =
+    Array.fold_left (fun acc (_, (r, _)) -> acc + r) 0 pairs
+  in
+  let recovered_ckpt_keys =
+    Array.fold_left (fun acc (_, (_, k)) -> acc + k) 0 pairs
+  in
   (* One process-wide source next to the per-shard arena gauges: resident
      set as the OS sees it, so exported snapshots relate the allocator's
      committed bytes to actual memory. *)
   Oa_obs.Sink.attach_gauges obs (fun () ->
       [ ("mem_rss_bytes", Oa_runtime.Sysinfo.rss_bytes ()) ]);
   (* Prefill from the main domain: one registration per shard, random keys
-     from the range until [prefill] distinct keys are in. *)
-  if cfg.prefill > 0 then begin
+     from the range until [prefill] distinct keys are in — but only on a
+     fresh start.  A directory that held any state (checkpoint keys or
+     WAL records) owns the contents: re-prefilling a recovered table
+     would resurrect keys the pre-crash service had acked as deleted. *)
+  if cfg.prefill > 0 && recovered_records + recovered_ckpt_keys = 0 then begin
     let ops = Array.map (fun s -> s.register ()) shards in
+    let logged = Array.map (fun _ -> ref []) shards in
     let rng = Oa_util.Splitmix.create (cfg.seed lxor 0x5eed) in
     let remaining = ref cfg.prefill in
     while !remaining > 0 do
       let k = 1 + Oa_util.Splitmix.below rng cfg.key_range in
-      if ops.(shard_index ~shards:cfg.shards k).exec Insert k then
-        decr remaining
-    done
+      let s = shard_index ~shards:cfg.shards k in
+      if ops.(s).exec Insert k then begin
+        decr remaining;
+        logged.(s) := k :: !(logged.(s))
+      end
+    done;
+    (* The prefill is part of durable state: log it like any other batch
+       of effective inserts, one append + one fsync per shard, so a
+       restart without traffic still recovers the prefilled table. *)
+    Array.iteri
+      (fun s shard ->
+        match (shard.persist, !(logged.(s))) with
+        | None, _ | _, [] -> ()
+        | Some st, keys ->
+            let wkeys = Array.of_list keys in
+            let wops = Array.make (Array.length wkeys) Oa_store.Record.Insert in
+            let last, _ =
+              Oa_store.Shard_store.append st ~n:(Array.length wkeys) wops wkeys
+            in
+            ignore (Oa_store.Shard_store.sync st ~upto:last))
+      shards
   end;
   {
     cfg;
@@ -192,22 +299,49 @@ let create ?(obs = Oa_obs.Sink.create ()) (cfg : config) : t =
     processed = Atomic.make 0;
     busy = Atomic.make 0;
     exec_errors = Atomic.make 0;
+    wal_records = Atomic.make 0;
+    wal_fsyncs = Atomic.make 0;
+    ckpts = Atomic.make 0;
+    recovered_records;
+    recovered_ckpt_keys;
+    replica = false;
     workers = [||];
     stopped = false;
   }
 
-(* The worker loop: batched dequeue, batched execute, rendezvous.  A
-   dequeued batch of two or more items runs through the scheme's amortised
-   batched path ([worker_ops.exec_batch]); single items take the per-op
-   path.  An exception from the batched path (e.g. [Arena_exhausted] under
-   an undersized delta) falls back to per-item execution so that only the
-   poisoned item fails, never the worker; insert/delete are idempotent on
-   the set, so re-running the batch's already-applied prefix in the
-   fallback cannot corrupt state (it can only change the boolean answers
-   of that exceptional batch). *)
+(* The worker loop: batched dequeue, batched execute, group-commit log,
+   rendezvous — in that order, because completion is the client's ack and
+   an acked mutation must already be durable (docs/persistence.md).
+
+   A dequeued batch of two or more items runs through the scheme's
+   amortised batched path ([worker_ops.exec_batch]); single items take
+   the per-op path.  An exception from the batched path (e.g.
+   [Arena_exhausted] under an undersized delta) falls back to per-item
+   execution so that only the poisoned item fails, never the worker;
+   insert/delete are idempotent on the set, so re-running the batch's
+   already-applied prefix in the fallback cannot corrupt state (it can
+   only change the boolean answers of that exceptional batch).
+
+   Every buffer the loop touches per rendezvous — dequeued items, kinds,
+   keys, results, the WAL record staging — is a per-worker array
+   allocated once and reused, so the steady-state hot path allocates
+   nothing per operation (the former per-batch list/array/closure chain
+   showed up directly in bench-core's batched-throughput numbers). *)
 let worker_loop t (shard : shard) =
   let ops = shard.register () in
   let rec_opt = Oa_obs.Sink.register t.sink in
+  let cap = max 1 t.cfg.dequeue_batch in
+  let dummy_batch = { bm = Mutex.create (); bc = Condition.create (); pending = 0 } in
+  let dummy =
+    { kind = Get; key = 0; batch = dummy_batch; result = false; failed = false }
+  in
+  let items = Array.make cap dummy in
+  let kinds = Array.make cap Get in
+  let keys = Array.make cap 0 in
+  let results = Array.make cap false in
+  let failed = Array.make cap false in
+  let wops = Array.make cap Oa_store.Record.Insert in
+  let wkeys = Array.make cap 0 in
   let complete it result failed =
     Mutex.lock it.batch.bm;
     it.result <- result;
@@ -220,35 +354,105 @@ let worker_loop t (shard : shard) =
     | None -> ()
     | Some r -> Oa_obs.Recorder.incr r Oa_obs.Event.Req_done
   in
-  let exec_one it =
-    let result, failed =
-      match ops.exec it.kind it.key with
-      | r -> (r, false)
-      | exception _ ->
-          Atomic.incr t.exec_errors;
-          (false, true)
-    in
-    complete it result failed
+  let exec_fallback i =
+    match ops.exec kinds.(i) keys.(i) with
+    | r ->
+        results.(i) <- r;
+        failed.(i) <- false
+    | exception _ ->
+        Atomic.incr t.exec_errors;
+        results.(i) <- false;
+        failed.(i) <- true
+  in
+  (* Stage and commit this rendezvous's effective mutations: one append,
+     one (often shared) fsync.  [conservative] is set when the fallback
+     path ran: its booleans no longer prove which prefix operations
+     already mutated the table, so every non-failed mutation is logged —
+     over-logging is safe (replaying a no-op insert/delete is a no-op),
+     under-logging could lose an acked write. *)
+  let log_batch st ~n ~conservative =
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      if (not failed.(i)) && (results.(i) || conservative) then begin
+        match kinds.(i) with
+        | Get -> ()
+        | Insert ->
+            wops.(!m) <- Oa_store.Record.Insert;
+            wkeys.(!m) <- keys.(i);
+            incr m
+        | Delete ->
+            wops.(!m) <- Oa_store.Record.Delete;
+            wkeys.(!m) <- keys.(i);
+            incr m
+      end
+    done;
+    if !m > 0 then begin
+      let last, rotated = Oa_store.Shard_store.append st ~n:!m wops wkeys in
+      Atomic.fetch_and_add t.wal_records !m |> ignore;
+      let t0 = Oa_runtime.Clock.now_ns () in
+      let issued = Oa_store.Shard_store.sync st ~upto:last in
+      if issued || rotated then Atomic.incr t.wal_fsyncs;
+      (match rec_opt with
+      | None -> ()
+      | Some r ->
+          Oa_obs.Recorder.add r Oa_obs.Event.Wal_append !m;
+          if rotated then Oa_obs.Recorder.incr r Oa_obs.Event.Wal_fsync;
+          if issued then begin
+            Oa_obs.Recorder.incr r Oa_obs.Event.Wal_fsync;
+            Oa_obs.Recorder.observe r "wal_fsync_ns"
+              (Oa_runtime.Clock.now_ns () - t0)
+          end);
+      (* Mid-run checkpoint, single-worker shards only: with this worker
+         as the shard's sole mutator, quiescing it makes the table safe
+         to snapshot (the rss-curve bench established quiesce-then-
+         continue); with more workers the snapshot would race, so those
+         shards checkpoint only at [stop]. *)
+      if t.cfg.workers_per_shard = 1 && Oa_store.Shard_store.wants_checkpoint st
+      then begin
+        ops.quiesce ();
+        ignore
+          (Oa_store.Shard_store.checkpoint st ~keys:(shard.contents ())
+             ~gauges:(shard.mem_gauges ()));
+        Atomic.incr t.ckpts;
+        match rec_opt with
+        | None -> ()
+        | Some r -> Oa_obs.Recorder.incr r Oa_obs.Event.Ckpt
+      end
+    end
   in
   let rec loop () =
-    match Shard_queue.pop_batch shard.queue ~max:t.cfg.dequeue_batch with
-    | [], _ -> ops.quiesce ()
-    | items, depth ->
+    match Shard_queue.pop_batch_into shard.queue items ~max:cap with
+    | 0, _ -> ops.quiesce ()
+    | n, depth ->
         (match rec_opt with
         | None -> ()
         | Some r ->
             Oa_obs.Recorder.observe r "net_queue_depth" depth;
-            Oa_obs.Recorder.observe r "net_batch" (List.length items));
-        let arr = Array.of_list items in
-        if Array.length arr >= 2 then begin
-          let kinds = Array.map (fun it -> it.kind) arr in
-          let keys = Array.map (fun it -> it.key) arr in
-          match ops.exec_batch kinds keys with
-          | results ->
-              Array.iteri (fun i it -> complete it results.(i) false) arr
-          | exception _ -> Array.iter exec_one arr
+            Oa_obs.Recorder.observe r "net_batch" n);
+        for i = 0 to n - 1 do
+          kinds.(i) <- items.(i).kind;
+          keys.(i) <- items.(i).key
+        done;
+        let conservative = ref false in
+        if n >= 2 then begin
+          match ops.exec_batch ~n kinds keys results with
+          | () -> Array.fill failed 0 n false
+          | exception _ ->
+              conservative := true;
+              for i = 0 to n - 1 do
+                exec_fallback i
+              done
         end
-        else Array.iter exec_one arr;
+        else exec_fallback 0;
+        (match shard.persist with
+        | None -> ()
+        | Some st -> log_batch st ~n ~conservative:!conservative);
+        for i = 0 to n - 1 do
+          complete items.(i) results.(i) failed.(i);
+          (* drop the reference so a completed item is collectable before
+             this slot's next reuse *)
+          items.(i) <- dummy
+        done;
         loop ()
   in
   loop ()
@@ -265,13 +469,32 @@ let start t =
 (** Close all queues and join the workers; each worker runs the scheme's
     {!Oa_core.Smr_intf.S.quiesce} — the final reclamation pass — on its
     way out.  Queued items are still executed and completed: callers that
-    submitted before [stop] get their answers (the drain guarantee). *)
+    submitted before [stop] get their answers (the drain guarantee).
+
+    Persistent shards then write a final checkpoint — the service is
+    quiescent, so the snapshot is exact — and close their WALs: a clean
+    shutdown restarts from the checkpoint alone, replaying nothing. *)
 let stop t =
   if not t.stopped then begin
     t.stopped <- true;
     Array.iter (fun s -> Shard_queue.close s.queue) t.shards;
     Array.iter Domain.join t.workers;
-    t.workers <- [||]
+    t.workers <- [||];
+    let rec_opt = Oa_obs.Sink.register t.sink in
+    Array.iter
+      (fun s ->
+        match s.persist with
+        | None -> ()
+        | Some st ->
+            ignore
+              (Oa_store.Shard_store.checkpoint st ~keys:(s.contents ())
+                 ~gauges:(s.mem_gauges ()));
+            Atomic.incr t.ckpts;
+            (match rec_opt with
+            | None -> ()
+            | Some r -> Oa_obs.Recorder.incr r Oa_obs.Event.Ckpt);
+            Oa_store.Shard_store.close st)
+      t.shards
   end
 
 let new_batch () =
@@ -321,6 +544,47 @@ let sink t = t.sink
 let processed t = Atomic.get t.processed
 let busy_rejections t = Atomic.get t.busy
 let queue_depths t = Array.map (fun s -> Shard_queue.length s.queue) t.shards
+let persistent t = t.cfg.data_dir <> None
+let recovered_records t = t.recovered_records
+let recovered_ckpt_keys t = t.recovered_ckpt_keys
+
+(** Mark the service as a read-only follower: purely informational (the
+    server's read-only guard and STATS report it); set by [serve
+    --follow]. *)
+let set_replica t v = t.replica <- v
+
+let is_replica t = t.replica
+
+(* --- replication reads (the primary side of log shipping) --- *)
+
+type repl_fetch =
+  | Repl_records of Oa_store.Record.t list * int
+      (** records after [from] plus the shard's appended seq *)
+  | Repl_snapshot of int * int
+      (** [from] predates the checkpoint: (ckpt seq, key count) —
+          resync via {!snap_fetch} *)
+
+(** [repl_fetch t ~shard ~from ~max] serves a follower's record request;
+    [None] when [shard] is out of range or the service is volatile. *)
+let repl_fetch t ~shard ~from ~max =
+  if shard < 0 || shard >= Array.length t.shards then None
+  else
+    match t.shards.(shard).persist with
+    | None -> None
+    | Some st -> (
+        match Oa_store.Shard_store.fetch st ~from ~max with
+        | Oa_store.Shard_store.Records (rs, last) -> Some (Repl_records (rs, last))
+        | Oa_store.Shard_store.Snapshot_needed (seq, total) ->
+            Some (Repl_snapshot (seq, total)))
+
+(** One chunk of a shard's checkpoint key set:
+    [(ckpt_seq, total, keys.(offset..))]; [None] as {!repl_fetch}. *)
+let snap_fetch t ~shard ~offset ~max =
+  if shard < 0 || shard >= Array.length t.shards then None
+  else
+    match t.shards.(shard).persist with
+    | None -> None
+    | Some st -> Some (Oa_store.Shard_store.snap_chunk st ~offset ~max)
 
 (** Sum of one memory gauge over every shard arena (0 for unknown names);
     cheap atomic reads, safe mid-run. *)
@@ -337,8 +601,10 @@ let chunks_live t = mem_gauge t "mem_chunks_live"
 (** The STATS response payload: a versioned flat vector (field order is
     part of the wire contract; new fields append, see docs/server.md).
     [| scheme; shards; workers_per_shard; queue_capacity; processed;
-       busy; exec_errors; dequeue_batch; mem_chunks_live; mem_rss_bytes |]
-    where [scheme] indexes {!Schemes.all_ids}. *)
+       busy; exec_errors; dequeue_batch; mem_chunks_live; mem_rss_bytes;
+       persistent; wal_records; wal_fsyncs; checkpoints; replica |]
+    where [scheme] indexes {!Schemes.all_ids} and [persistent]/[replica]
+    are 0/1 flags. *)
 let stats_payload t =
   let scheme_idx =
     let rec find i = function
@@ -358,6 +624,11 @@ let stats_payload t =
     t.cfg.dequeue_batch;
     chunks_live t;
     Oa_runtime.Sysinfo.rss_bytes ();
+    (if persistent t then 1 else 0);
+    Atomic.get t.wal_records;
+    Atomic.get t.wal_fsyncs;
+    Atomic.get t.ckpts;
+    (if t.replica then 1 else 0);
   |]
 
 let scheme_of_stats_payload (vs : int array) =
@@ -377,6 +648,10 @@ type report = {
   chunks_live : int;  (** arena chunks holding live slots, all shards *)
   committed_bytes : int;  (** arena bytes committed, all shards *)
   rss_bytes : int;  (** process resident set; 0 if unreadable *)
+  wal_records : int;  (** mutation records appended to the WALs *)
+  wal_fsyncs : int;  (** group-commit fsyncs actually issued *)
+  checkpoints : int;  (** checkpoints written (including the final one) *)
+  recovered : int * int;  (** (WAL records replayed, ckpt keys) at start *)
   validation : (unit, string) result;
   conservation_ok : bool;
       (** [reclaimed <= retired] and [smr.recycled <= smr.retires]: no
@@ -414,6 +689,10 @@ let drain_report t : report =
     chunks_live = chunks_live t;
     committed_bytes = mem_gauge t "mem_committed_bytes";
     rss_bytes = Oa_runtime.Sysinfo.rss_bytes ();
+    wal_records = Atomic.get t.wal_records;
+    wal_fsyncs = Atomic.get t.wal_fsyncs;
+    checkpoints = Atomic.get t.ckpts;
+    recovered = (t.recovered_records, t.recovered_ckpt_keys);
     validation;
     conservation_ok =
       reclaimed <= retired && smr.I.recycled <= smr.I.retires
@@ -430,4 +709,8 @@ let pp_report ppf (r : report) =
     r.retired r.reclaimed (r.retired - r.reclaimed) r.chunks_live
     (float_of_int r.committed_bytes /. 1048576.)
     (float_of_int r.rss_bytes /. 1048576.)
-    (if r.conservation_ok then "ok" else "VIOLATED")
+    (if r.conservation_ok then "ok" else "VIOLATED");
+  if r.wal_records > 0 || r.checkpoints > 0 || r.recovered <> (0, 0) then
+    Format.fprintf ppf " wal-records=%d wal-fsyncs=%d ckpts=%d recovered=%d+%d"
+      r.wal_records r.wal_fsyncs r.checkpoints (snd r.recovered)
+      (fst r.recovered)

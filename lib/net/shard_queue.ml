@@ -77,6 +77,33 @@ let pop_batch t ~max =
   Mutex.unlock t.m;
   (List.rev !items, depth)
 
+(** [pop_batch_into t dst ~max] is {!pop_batch} without the list: items
+    are written into [dst.(0 .. k-1)] (a preallocated per-worker buffer,
+    reused across rendezvous) and [(k, depth)] returned — the worker
+    loop's allocation-free dequeue.  [(0, _)] only once closed and
+    drained. *)
+let pop_batch_into t dst ~max =
+  if max <= 0 || max > Array.length dst then
+    invalid_arg "Shard_queue.pop_batch_into";
+  Mutex.lock t.m;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.nonempty t.m
+  done;
+  let depth = t.len in
+  let k = min max t.len in
+  for j = 0 to k - 1 do
+    let i = t.head in
+    (match t.buf.(i) with
+    | Some x -> dst.(j) <- x
+    | None -> assert false);
+    t.buf.(i) <- None;
+    t.head <- (i + 1) mod Array.length t.buf;
+    t.len <- t.len - 1
+  done;
+  if t.len > 0 then Condition.signal t.nonempty;
+  Mutex.unlock t.m;
+  (k, depth)
+
 let length t =
   Mutex.lock t.m;
   let n = t.len in

@@ -37,7 +37,21 @@
 
     The service additionally records [net_queue_depth] (shard queue depth
     sampled at every dequeue) and [net_batch] (dequeue batch size)
-    histograms through the same recorders. *)
+    histograms through the same recorders.
+
+    The [Oa_store] durability layer (docs/persistence.md) adds:
+
+    - {!Wal_append} — a mutation record appended to a shard's write-ahead
+      log (counted per record, so volumes compare against [Req_done]).
+    - {!Wal_fsync} — a group-commit [fsync] actually issued (skipped
+      syncs, where another worker's fsync already covered the batch, are
+      not counted).
+    - {!Ckpt} — a quiesce-anchored checkpoint written (and the WAL
+      truncated behind it).
+    - {!Replay} — a WAL record re-applied during crash recovery.
+
+    Workers additionally record the [wal_fsync_ns] histogram — the
+    latency of each issued group-commit fsync. *)
 
 type t =
   | Retire
@@ -56,6 +70,10 @@ type t =
   | Proto_error
   | Mem_grow
   | Mem_shrink
+  | Wal_append
+  | Wal_fsync
+  | Ckpt
+  | Replay
 
 let all =
   [
@@ -75,6 +93,10 @@ let all =
     Proto_error;
     Mem_grow;
     Mem_shrink;
+    Wal_append;
+    Wal_fsync;
+    Ckpt;
+    Replay;
   ]
 
 let count = List.length all
@@ -96,6 +118,10 @@ let index = function
   | Proto_error -> 13
   | Mem_grow -> 14
   | Mem_shrink -> 15
+  | Wal_append -> 16
+  | Wal_fsync -> 17
+  | Ckpt -> 18
+  | Replay -> 19
 
 let to_string = function
   | Retire -> "retire"
@@ -114,6 +140,10 @@ let to_string = function
   | Proto_error -> "proto_error"
   | Mem_grow -> "mem_grow"
   | Mem_shrink -> "mem_shrink"
+  | Wal_append -> "wal_append"
+  | Wal_fsync -> "wal_fsync"
+  | Ckpt -> "ckpt"
+  | Replay -> "replay"
 
 let of_string s =
   List.find_opt (fun e -> to_string e = s) all

@@ -1,0 +1,129 @@
+(** Checkpoint sidecar: a quiesce-anchored snapshot of one shard's key
+    set, written atomically next to the shard's WAL segments.
+
+    A checkpoint at sequence [seq] says: "this key set is exactly the
+    result of replaying records 1..[seq]".  Recovery loads the newest
+    valid checkpoint and replays only records with [seq >] its sequence;
+    the WAL segments sealed before the checkpoint become garbage
+    ({!Wal.drop_sealed}).
+
+    Atomicity is the classic tmp + [fsync] + [rename] + directory-[fsync]
+    dance: a crash at any point leaves either the old checkpoint or the
+    new one, never a torn file — and a torn or bit-flipped file is
+    detected by the whole-body CRC and treated as absent (recovery then
+    replays from the start of the retained log).
+
+    File layout (big-endian, CRC-32 over everything after [crc]):
+
+    {v
+    ckpt := magic:"OACKPT1\n" crc:u32 body
+    body := seq:u64 n_keys:u64 n_gauges:u16
+            (glen:u16 gname:bytes gval:u64)*   n_gauges times
+            key:u64*                           n_keys times
+    v}
+
+    The gauges are the arena / allocator levels sampled at the quiesce
+    point (chunks live, RSS) — carried for observability, not replayed. *)
+
+let magic = "OACKPT1\n"
+let file_name = "ckpt"
+let tmp_name = "ckpt.tmp"
+
+type t = {
+  seq : int;  (** the WAL sequence this snapshot covers *)
+  keys : int array;
+  gauges : (string * int) list;
+}
+
+let add_u16 buf v = Buffer.add_uint16_be buf v
+let add_u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+let add_u64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+
+let encode_body t =
+  let buf = Buffer.create (64 + (8 * Array.length t.keys)) in
+  add_u64 buf t.seq;
+  add_u64 buf (Array.length t.keys);
+  add_u16 buf (List.length t.gauges);
+  List.iter
+    (fun (name, v) ->
+      add_u16 buf (String.length name);
+      Buffer.add_string buf name;
+      add_u64 buf v)
+    t.gauges;
+  Array.iter (fun k -> add_u64 buf k) t.keys;
+  Buffer.contents buf
+
+(** Write [t] as [dir]'s checkpoint, atomically replacing any previous
+    one; durable when the call returns. *)
+let write ~dir t =
+  let body = encode_body t in
+  let tmp = Filename.concat dir tmp_name in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let buf = Buffer.create (String.length magic + 4 + String.length body) in
+  Buffer.add_string buf magic;
+  add_u32 buf (Crc32.string body);
+  Buffer.add_string buf body;
+  let data = Buffer.to_bytes buf in
+  let len = Bytes.length data in
+  let written = ref 0 in
+  while !written < len do
+    match Unix.write fd data !written (len - !written) with
+    | n -> written := !written + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp (Filename.concat dir file_name);
+  Wal.sync_dir dir
+
+let get_u16 b off = Bytes.get_uint16_be b off
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff
+let get_u64 b off = Int64.to_int (Bytes.get_int64_be b off)
+
+(** Read [dir]'s checkpoint.  [None] when absent {e or} invalid (bad
+    magic, short file, checksum mismatch): an unreadable checkpoint must
+    degrade to "no checkpoint", never to wrong state. *)
+let read ~dir =
+  let path = Filename.concat dir file_name in
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd -> (
+      let len = (Unix.fstat fd).Unix.st_size in
+      let b = Bytes.create len in
+      let pos = ref 0 in
+      (try
+         while !pos < len do
+           match Unix.read fd b !pos (len - !pos) with
+           | 0 -> pos := len
+           | n -> pos := !pos + n
+         done
+       with Unix.Unix_error _ -> ());
+      Unix.close fd;
+      let mlen = String.length magic in
+      let hdr = mlen + 4 in
+      if len < hdr + 18 then None
+      else if Bytes.sub_string b 0 mlen <> magic then None
+      else if Crc32.bytes b ~pos:hdr ~len:(len - hdr) <> get_u32 b mlen then
+        None
+      else
+        try
+          let seq = get_u64 b hdr in
+          let n_keys = get_u64 b (hdr + 8) in
+          let n_gauges = get_u16 b (hdr + 16) in
+          let off = ref (hdr + 18) in
+          let gauges = ref [] in
+          for _ = 1 to n_gauges do
+            let glen = get_u16 b !off in
+            let name = Bytes.sub_string b (!off + 2) glen in
+            let v = get_u64 b (!off + 2 + glen) in
+            gauges := (name, v) :: !gauges;
+            off := !off + 2 + glen + 8
+          done;
+          if len - !off <> 8 * n_keys then None
+          else begin
+            let keys = Array.init n_keys (fun i -> get_u64 b (!off + (8 * i))) in
+            Some { seq; keys; gauges = List.rev !gauges }
+          end
+        with Invalid_argument _ -> None)

@@ -1,0 +1,34 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+    checksum of the write-ahead log and checkpoint files
+    (docs/persistence.md).
+
+    Table-driven, one lookup per byte; pure OCaml so the store carries no
+    dependency beyond the standard library.  Values are returned as
+    non-negative [int]s in [0, 2^32), which fit OCaml's 63-bit ints. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(** [update crc b ~pos ~len] folds [len] bytes of [b] starting at [pos]
+    into a running checksum.  Start from {!empty}, finish with {!finish}. *)
+let update crc b ~pos ~len =
+  let t = Lazy.force table in
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c
+
+let empty = 0xFFFFFFFF
+let finish crc = crc lxor 0xFFFFFFFF
+
+(** One-shot checksum of a byte range. *)
+let bytes b ~pos ~len = finish (update empty b ~pos ~len)
+
+let string s = bytes (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

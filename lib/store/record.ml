@@ -1,0 +1,88 @@
+(** The write-ahead-log record: one {e effective} mutation of a shard's
+    key set, framed for crash-safe append-only storage.
+
+    Only mutations that changed the table are logged (an insert that
+    returned [true], a delete that returned [true]): replaying the record
+    stream in order against an empty set reproduces the table exactly,
+    and failed operations — which changed nothing — cost no log space.
+
+    Frame layout (all integers big-endian, mirroring the wire protocol's
+    codec discipline):
+
+    {v
+    frame   := len:u32 crc:u32 payload      len = |payload|
+    payload := op:u8 seq:u64 key:u64        op: 1 = insert, 2 = delete
+    v}
+
+    [crc] is CRC-32 over the payload bytes.  [seq] is the record's
+    position in its shard's log — strictly increasing, assigned by
+    {!Wal.append}.  Decoding is total: a short buffer is {!Incomplete}
+    (the torn tail a crash mid-append leaves), a checksum or framing
+    mismatch is {!Bad} — never an exception. *)
+
+type op = Insert | Delete
+
+type t = { seq : int; op : op; key : int }
+
+let payload_len = 17
+
+(** Full frame size on disk: 8-byte header + payload. *)
+let frame_len = 8 + payload_len
+
+let op_code = function Insert -> 1 | Delete -> 2
+
+let op_to_string = function Insert -> "insert" | Delete -> "delete"
+
+let pp ppf r =
+  Format.fprintf ppf "%d:%s %d" r.seq (op_to_string r.op) r.key
+
+(* --- encoding --- *)
+
+let add_u32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+let add_u64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+
+(** Append one framed record to [buf]. *)
+let encode buf r =
+  let payload = Buffer.create payload_len in
+  Buffer.add_uint8 payload (op_code r.op);
+  add_u64 payload r.seq;
+  add_u64 payload r.key;
+  let p = Buffer.contents payload in
+  add_u32 buf (String.length p);
+  add_u32 buf (Crc32.string p);
+  Buffer.add_string buf p
+
+(* --- decoding --- *)
+
+type decoded =
+  | Complete of t * int  (** record and bytes consumed *)
+  | Incomplete  (** buffer ends mid-frame: the torn tail of a crash *)
+  | Bad of string  (** framing or checksum violation: corruption *)
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xffffffff
+let get_u64 b off = Int64.to_int (Bytes.get_int64_be b off)
+
+let decode b ~off ~avail =
+  if avail < 8 then Incomplete
+  else
+    let len = get_u32 b off in
+    let crc = get_u32 b (off + 4) in
+    if len <> payload_len then
+      Bad (Printf.sprintf "record payload length %d (want %d)" len payload_len)
+    else if avail < 8 + len then Incomplete
+    else if Crc32.bytes b ~pos:(off + 8) ~len <> crc then
+      Bad "record checksum mismatch"
+    else
+      let op =
+        match Bytes.get_uint8 b (off + 8) with
+        | 1 -> Some Insert
+        | 2 -> Some Delete
+        | _ -> None
+      in
+      match op with
+      | None ->
+          Bad (Printf.sprintf "unknown record op 0x%02x" (Bytes.get_uint8 b (off + 8)))
+      | Some op ->
+          let seq = get_u64 b (off + 9) in
+          let key = get_u64 b (off + 17) in
+          Complete ({ seq; op; key }, 8 + len)

@@ -1,0 +1,65 @@
+(** Crash recovery for one shard directory: newest valid checkpoint
+    first, then the retained WAL records in sequence order.
+
+    The invariants this relies on (docs/persistence.md):
+
+    - a checkpoint at [seq] is exactly replay(1..seq), so records with
+      [seq <=] the checkpoint's must be {e skipped} — re-applying a
+      delete whose key was since re-inserted would lose an acked write;
+    - the WAL only holds {e effective} mutations, so replay against the
+      checkpoint state reproduces the table exactly;
+    - a torn frame (crash mid-append) can only be the tail of a segment
+      that nothing was appended after — {!Wal.create} always opens a
+      fresh segment — so skipping a segment's remainder after a tear
+      drops no durable record;
+    - an invalid checkpoint reads as absent, and the WAL is only
+      truncated {e after} its checkpoint is durable, so the full record
+      stream is still on disk in that case. *)
+
+type summary = {
+  ckpt_seq : int;  (** 0 when no (valid) checkpoint was found *)
+  ckpt_keys : int;
+  replayed : int;  (** records with [seq > ckpt_seq] handed to [on_record] *)
+  last_seq : int;  (** where the WAL resumes: [max ckpt_seq scan_last_seq] *)
+  tears : int;
+  gauges : (string * int) list;  (** gauges sampled at checkpoint time *)
+}
+
+let is_empty s =
+  s.ckpt_seq = 0 && s.ckpt_keys = 0 && s.replayed = 0 && s.last_seq = 0
+
+(** [run ~dir ~on_snapshot ~on_record] drives recovery: [on_snapshot]
+    receives the checkpoint's key set (possibly empty), then [on_record]
+    each WAL record past the checkpoint, in log order. *)
+let run ~dir ~on_snapshot ~on_record =
+  let ckpt_seq, ckpt_keys, gauges =
+    match Checkpoint.read ~dir with
+    | None ->
+        on_snapshot [||];
+        (0, 0, [])
+    | Some c ->
+        on_snapshot c.Checkpoint.keys;
+        (c.Checkpoint.seq, Array.length c.Checkpoint.keys, c.Checkpoint.gauges)
+  in
+  let replayed = ref 0 in
+  let scan =
+    Wal.scan_dir ~dir (fun r ->
+        if r.Record.seq > ckpt_seq then begin
+          on_record r;
+          incr replayed
+        end)
+  in
+  {
+    ckpt_seq;
+    ckpt_keys;
+    replayed = !replayed;
+    last_seq = max ckpt_seq scan.Wal.scan_last_seq;
+    tears = List.length scan.Wal.tears;
+    gauges;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "ckpt seq %d (%d keys), replayed %d, last seq %d, %d torn tail%s"
+    s.ckpt_seq s.ckpt_keys s.replayed s.last_seq s.tears
+    (if s.tears = 1 then "" else "s")

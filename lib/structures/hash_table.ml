@@ -70,8 +70,13 @@ module Make (S : Oa_core.Smr_intf.S) = struct
      the same bucket — keep their submission order, which is what makes a
      batch observably equivalent to executing its operations one at a time
      for any single submitter. *)
-  let run_batch_keyed t (ctx : ctx) ~(keys : int array) f =
-    let n = Array.length keys in
+  (* [?n] restricts the batch to the first [n] keys (the [Service] worker
+     reuses one max-sized key buffer across rendezvous); [?scratch] lends
+     the ordering buffer, killing the per-batch [order] allocation when the
+     caller can preallocate it (it must be at least [n] long, or it is
+     ignored and a fresh buffer allocated). *)
+  let run_batch_keyed t (ctx : ctx) ?n ?scratch ~(keys : int array) f =
+    let n = match n with Some n -> n | None -> Array.length keys in
     (* Pack [bucket lsl shift lor submission-index] into one int so the
        stable bucket order falls out of a single monomorphic int sort —
        the comparator runs O(n log n) times and must not hash or box. *)
@@ -79,7 +84,11 @@ module Make (S : Oa_core.Smr_intf.S) = struct
       let rec bits b = if n lsr b = 0 then b else bits (b + 1) in
       bits 0
     in
-    let order = Array.make n 0 in
+    let order =
+      match scratch with
+      | Some a when Array.length a >= n -> a
+      | _ -> Array.make (max 1 n) 0
+    in
     for i = 0 to n - 1 do
       order.(i) <- (bucket_index t keys.(i) lsl shift) lor i
     done;

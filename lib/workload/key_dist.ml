@@ -5,7 +5,15 @@
     deletes succeed with similar probability.  A Zipfian option is provided
     as an extension for skew studies (not part of the paper's figures). *)
 
-type t = Uniform of { range : int } | Zipf of { range : int; theta : float }
+type t =
+  | Uniform of { range : int }
+  | Zipf of { range : int; theta : float }
+  | Hot of { range : int; hot : int; hot_pct : int }
+      (** [hot_pct]% of draws land uniformly in the hot set [1..hot],
+          the rest uniformly in the full [1..range] — a two-level
+          hot/cold skew whose contention point is obvious by
+          construction (the server smoke uses it to hammer a few
+          buckets, and hence a few WAL shards, preferentially) *)
 
 let uniform ~range =
   if range <= 0 then invalid_arg "Key_dist.uniform";
@@ -15,7 +23,13 @@ let zipf ~range ~theta =
   if range <= 0 || theta <= 0.0 || theta >= 1.0 then invalid_arg "Key_dist.zipf";
   Zipf { range; theta }
 
-let range = function Uniform { range } | Zipf { range; _ } -> range
+let hot ~range ~hot ~hot_pct =
+  if range <= 0 || hot <= 0 || hot > range || hot_pct < 0 || hot_pct > 100 then
+    invalid_arg "Key_dist.hot";
+  Hot { range; hot; hot_pct }
+
+let range = function
+  | Uniform { range } | Zipf { range; _ } | Hot { range; _ } -> range
 
 (* Approximate Zipf sampling via the power-of-uniform method; adequate for
    skew experiments without per-sample harmonic sums. *)
@@ -26,7 +40,13 @@ let draw t rng =
       let u = Oa_util.Splitmix.float rng in
       let x = Float.pow u (1.0 /. (1.0 -. theta)) in
       1 + int_of_float (x *. float_of_int (range - 1))
+  | Hot { range; hot; hot_pct } ->
+      if Oa_util.Splitmix.below rng 100 < hot_pct then
+        1 + Oa_util.Splitmix.below rng hot
+      else 1 + Oa_util.Splitmix.below rng range
 
 let to_string = function
   | Uniform { range } -> Printf.sprintf "uniform(1..%d)" range
   | Zipf { range; theta } -> Printf.sprintf "zipf(1..%d, %.2f)" range theta
+  | Hot { range; hot; hot_pct } ->
+      Printf.sprintf "hot(1..%d, %d%%->1..%d)" range hot_pct hot

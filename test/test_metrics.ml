@@ -16,7 +16,7 @@ module E = Oa_harness.Experiment
 (* --- events --- *)
 
 let test_event_vocabulary () =
-  Alcotest.(check int) "sixteen events" 16 O.Event.count;
+  Alcotest.(check int) "twenty events" 20 O.Event.count;
   List.iter
     (fun ev ->
       Alcotest.(check (option string))

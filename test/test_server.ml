@@ -83,7 +83,7 @@ let run_client ~port ~index ~model =
           | P.Get k -> (k, model.(k - 1), fun () -> ())
           | P.Insert k -> (k, not model.(k - 1), fun () -> model.(k - 1) <- true)
           | P.Delete k -> (k, model.(k - 1), fun () -> model.(k - 1) <- false)
-          | P.Stats | P.Ping -> assert false
+          | P.Stats | P.Ping | P.Fetch _ | P.Snap _ -> assert false
         in
         match body with
         | P.Bool b ->
